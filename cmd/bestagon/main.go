@@ -1,0 +1,129 @@
+// Command bestagon runs the complete Bestagon design flow: it reads a
+// logic specification (.bench or structural Verilog, or a named built-in
+// benchmark), performs logic rewriting, technology mapping, placement &
+// routing on a hexagonal row-clocked floor plan, formal verification,
+// super-tile merging, gate-library application, and SiQAD export.
+//
+// Usage:
+//
+//	bestagon -bench c17 -o c17.sqd
+//	bestagon -in design.bench -engine exact -o out.sqd
+//	bestagon -in design.v -render
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/gates"
+	"repro/internal/logic/bench"
+	"repro/internal/logic/network"
+)
+
+func main() {
+	var (
+		inFile    = flag.String("in", "", "input specification file (.bench or .v)")
+		benchName = flag.String("bench", "", "built-in Table 1 benchmark name")
+		engine    = flag.String("engine", "auto", "physical design engine: auto, exact, ortho")
+		out       = flag.String("o", "", "output SiQAD .sqd file")
+		render    = flag.Bool("render", false, "print the gate-level layout as ASCII art")
+		noRewrite = flag.Bool("no-rewrite", false, "skip the logic rewriting step")
+		gateLevel = flag.Bool("gate-level", false, "stop after verification (no cell-level layout)")
+		list      = flag.Bool("list", false, "list built-in benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range bench.Benchmarks {
+			fmt.Printf("%-16s %-12s paper: %dx%d, %d SiDBs, %.2f nm2\n",
+				b.Name, b.Suite, b.PaperW, b.PaperH, b.PaperSiDBs, b.PaperArea)
+		}
+		return
+	}
+
+	x, err := loadSpec(*inFile, *benchName)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := core.Options{SkipRewrite: *noRewrite, SkipCellLevel: *gateLevel}
+	switch *engine {
+	case "auto":
+		opts.Engine = core.EngineAuto
+	case "exact":
+		opts.Engine = core.EngineExact
+	case "ortho":
+		opts.Engine = core.EngineOrtho
+	default:
+		fatal(fmt.Errorf("unknown engine %q", *engine))
+	}
+
+	res, err := core.Run(x, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("specification : %v\n", res.Spec)
+	fmt.Printf("rewritten     : %v\n", res.Rewritten)
+	fmt.Printf("mapped        : %v\n", res.Mapped)
+	fmt.Printf("layout        : %v [%s engine]\n", res.Layout, res.EngineUsed)
+	fmt.Printf("verification  : equivalent (SAT, %d conflicts)\n", res.Verification.Conflicts)
+	fmt.Printf("super-tiles   : %d rows per clock electrode (%.2f nm pitch)\n",
+		res.SuperTiles.RowsPerSuperTile, res.SuperTiles.PitchNM)
+	fmt.Printf("area          : %.2f nm2 (%dx%d tiles)\n", res.AreaNM2, res.Layout.Width(), res.Layout.Height())
+	if res.CellLayout != nil {
+		fmt.Printf("SiDBs         : %d\n", res.SiDBs)
+	}
+	counts := res.Layout.GateCounts()
+	var parts []string
+	for _, f := range gates.All() {
+		if n := counts[f]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", f, n))
+		}
+	}
+	fmt.Printf("tiles         : %s\n", strings.Join(parts, " "))
+
+	if *render {
+		fmt.Println()
+		fmt.Println(res.Layout.Render())
+	}
+	if *out != "" {
+		doc, err := res.ExportSQD()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, []byte(doc), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote         : %s\n", *out)
+	}
+}
+
+// loadSpec loads the requested specification.
+func loadSpec(inFile, benchName string) (*network.XAG, error) {
+	switch {
+	case benchName != "":
+		return bench.Load(benchName)
+	case inFile != "":
+		data, err := os.ReadFile(inFile)
+		if err != nil {
+			return nil, err
+		}
+		name := strings.TrimSuffix(filepath.Base(inFile), filepath.Ext(inFile))
+		if strings.HasSuffix(inFile, ".v") {
+			return bench.ParseVerilog(string(data))
+		}
+		return bench.ParseBench(name, string(data))
+	default:
+		return nil, fmt.Errorf("specify -in FILE or -bench NAME (see -list)")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bestagon:", err)
+	os.Exit(1)
+}

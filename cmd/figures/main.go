@@ -1,0 +1,53 @@
+// Command figures regenerates the figures of the Bestagon paper:
+//
+//	-fig 1c  simulated ground states of the recreated Huff et al. OR gate
+//	         (μ_ = -0.28 eV, ε_r = 5.6, λ_TF = 5 nm)
+//	-fig 2   clocking by charge-population modulation: a signal moving
+//	         through the four phases of a clocked wire
+//	-fig 3   Cartesian vs. hexagonal suitability for Y-shaped gates
+//	-fig 4   tile template and super-tile grouping under the 40 nm minimum
+//	         metal pitch
+//	-fig 5   simulation results of the Bestagon gate library
+//	         (μ_ = -0.32 eV, ε_r = 5.6, λ_TF = 5 nm)
+//	-fig 6   synthesized layout of the par_check benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/figures"
+	"repro/internal/gates"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to regenerate: 1c, 2, 3, 4, 5, 6, od")
+	out := flag.String("o", "", "optional output file for generated .sqd data (figs 1c, 6)")
+	flag.Parse()
+
+	var err error
+	switch *fig {
+	case "1c":
+		err = figures.Fig1c(os.Stdout, *out)
+	case "2":
+		err = figures.Fig2(os.Stdout)
+	case "3":
+		err = figures.Fig3(os.Stdout)
+	case "4":
+		err = figures.Fig4(os.Stdout)
+	case "5":
+		err = figures.Fig5(os.Stdout)
+	case "6":
+		err = figures.Fig6(os.Stdout, *out)
+	case "od":
+		err = figures.OpDomain(os.Stdout, gates.Wire)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: figures -fig {1c|2|3|4|5|6|od} [-o file.sqd]")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}

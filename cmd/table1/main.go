@@ -1,0 +1,61 @@
+// Command table1 regenerates Table 1 of the Bestagon paper: for every
+// benchmark of the trindade16 and fontes18 suites it runs the full design
+// flow and reports layout dimensions (in hexagonal tiles), SiDB count, and
+// area in nm², next to the paper's published values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/logic/bench"
+	"repro/internal/pnr"
+)
+
+func main() {
+	var (
+		engine  = flag.String("engine", "auto", "physical design engine: auto, exact, ortho")
+		budget  = flag.Int64("budget", 0, "SAT conflict budget per exact attempt (0 = default)")
+		maxArea = flag.Int("max-area", 0, "maximum explored tile area for exact search")
+		only    = flag.String("only", "", "run a single benchmark")
+	)
+	flag.Parse()
+
+	opts := core.Options{Exact: pnr.ExactOptions{ConflictBudget: *budget, MaxArea: *maxArea}}
+	switch *engine {
+	case "auto":
+		opts.Engine = core.EngineAuto
+	case "exact":
+		opts.Engine = core.EngineExact
+	case "ortho":
+		opts.Engine = core.EngineOrtho
+	default:
+		fmt.Fprintln(os.Stderr, "unknown engine", *engine)
+		os.Exit(1)
+	}
+
+	fmt.Println("Table 1: generated layout data (this reproduction vs. paper)")
+	fmt.Println()
+	fmt.Printf("%-5s %-14s | %-22s | %-22s | %s\n", "", "Name",
+		"repro  w x h =  A  SiDBs", "paper  w x h =  A  SiDBs", "repro nm2 / paper nm2")
+	fmt.Println(string(make([]byte, 0)) +
+		"------------------------------------------------------------------------------------------------")
+	for _, b := range bench.Benchmarks {
+		if *only != "" && b.Name != *only {
+			continue
+		}
+		res, err := core.RunBenchmark(b.Name, opts)
+		if err != nil {
+			fmt.Printf("[%s] %-14s | FAILED: %v\n", b.Suite[:4], b.Name, err)
+			continue
+		}
+		l := res.Layout
+		fmt.Printf("[%s] %-14s | %2dx%-2d =%3d  %5d SiDBs | %2dx%-2d =%3d  %5d SiDBs | %10.2f / %10.2f  (%s)\n",
+			b.Suite[:4], b.Name,
+			l.Width(), l.Height(), l.Area(), res.SiDBs,
+			b.PaperW, b.PaperH, b.PaperW*b.PaperH, b.PaperSiDBs,
+			res.AreaNM2, b.PaperArea, res.EngineUsed)
+	}
+}

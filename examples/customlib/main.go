@@ -1,0 +1,51 @@
+// Customlib: derive a new gate core with the simulation-driven design
+// search (the paper's RL-agent substitute) and validate it — the workflow
+// for extending the Bestagon library with additional Boolean functions,
+// which the paper names as a possibility ("it is also possible to create a
+// variety of gate libraries following the provided specifications").
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/designer"
+	"repro/internal/gatelib"
+	"repro/internal/sim"
+)
+
+func main() {
+	// Target: a 2-input "A AND NOT B" (inhibition) tile — a function the
+	// standard library does not provide.
+	inhibition := func(in uint32) uint32 {
+		a, b := in&1, in>>1&1
+		return a &^ b
+	}
+
+	tpl := gatelib.SearchTemplate(2, false, true, inhibition, sim.ParamsFig5)
+	cands := designer.Grid(20, 12, 40, 32, 2, tpl.Fixed, 0.6)
+	fmt.Printf("searching %d candidate canvas sites...\n", len(cands))
+
+	opts := designer.DefaultOptions()
+	opts.Restarts = 8
+	opts.Iterations = 250
+	best, err := designer.Search(tpl, cands, opts)
+	if err != nil {
+		log.Fatalf("no design found: %v", err)
+	}
+
+	fmt.Printf("found a placement with %d canvas dots (output gap %.4f eV):\n",
+		len(best.Canvas), best.MinGap)
+	for _, s := range best.Canvas {
+		x, y := s.Cell()
+		fmt.Printf("  dot at cell (%d, %d)\n", x, y)
+	}
+
+	// Re-validate the candidate from scratch.
+	check := designer.Evaluate(tpl, best.Canvas)
+	fmt.Printf("re-validation: %d/%d input patterns correct\n", check.Correct, check.Patterns)
+	if !check.Works() {
+		log.Fatal("validation failed")
+	}
+	fmt.Println("the core can now be embedded in a tile design (see internal/gatelib/designs.go)")
+}

@@ -1,0 +1,19 @@
+// Opdomain: map the operational domain of a Bestagon tile across physical
+// parameters (μ_, ε_r) — the evaluation framework the paper's conclusions
+// call for. The wire tile is swept around the library calibration point
+// and the operational region is rendered as an ASCII map.
+package main
+
+import (
+	"log"
+	"os"
+
+	"repro/internal/figures"
+	"repro/internal/gates"
+)
+
+func main() {
+	if err := figures.OpDomain(os.Stdout, gates.Wire); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,36 @@
+// Quickstart: run the complete Bestagon design flow on a built-in
+// benchmark and print the resulting hexagonal layout.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	// Run all eight flow steps on the mux21 benchmark: rewriting,
+	// technology mapping, exact placement & routing on the hexagonal
+	// row-clocked floor plan, SAT verification, super-tile merging, and
+	// gate-library application.
+	res, err := core.RunBenchmark("mux21", core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("specification:", res.Spec)
+	fmt.Println("after rewriting:", res.Rewritten)
+	fmt.Println("mapped:", res.Mapped)
+	fmt.Printf("layout: %v (engine: %s)\n", res.Layout, res.EngineUsed)
+	fmt.Printf("formally verified: %v\n", res.Verification.Equivalent)
+	fmt.Printf("SiDBs: %d, area: %.2f nm2\n\n", res.SiDBs, res.AreaNM2)
+	fmt.Println(res.Layout.Render())
+
+	// Export the dot-accurate layout for SiQAD.
+	doc, err := res.ExportSQD()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SiQAD design file: %d bytes (use res.ExportSQD to save)\n", len(doc))
+}

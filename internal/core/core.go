@@ -1,0 +1,189 @@
+// Package core implements the complete Bestagon physical design flow of
+// §4.2 of the paper: from a logic-level specification to a dot-accurate,
+// formally verified SiDB layout.
+//
+// The eight flow steps:
+//
+//	(1) parse the specification as an XAG,
+//	(2) cut-based logic rewriting with an exact NPN database,
+//	(3) technology mapping into the Bestagon gate set,
+//	(4) exact (SAT-based) or scalable physical design on the hexagonal,
+//	    row-clocked floor plan,
+//	(5) SAT-based equivalence checking of network vs. layout,
+//	(6) super-tile merging by clock-zone expansion,
+//	(7) application of the Bestagon library to obtain the SiDB layout, and
+//	(8) SiQAD design-file generation.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/clocking"
+	"repro/internal/gatelayout"
+	"repro/internal/gatelib"
+	"repro/internal/logic/bench"
+	"repro/internal/logic/mapping"
+	"repro/internal/logic/network"
+	"repro/internal/logic/rewrite"
+	"repro/internal/pnr"
+	"repro/internal/sidb"
+	"repro/internal/sqd"
+	"repro/internal/verify"
+)
+
+// Engine selects the physical design algorithm of flow step (4).
+type Engine int
+
+// Physical design engines.
+const (
+	// EngineAuto tries exact physical design first and falls back to the
+	// scalable router when the SAT search exceeds its budget.
+	EngineAuto Engine = iota
+	// EngineExact uses SAT-based minimal-area placement & routing [46].
+	EngineExact
+	// EngineOrtho uses the scalable greedy fabric router.
+	EngineOrtho
+)
+
+// Options configures a flow run.
+type Options struct {
+	// Engine selects the physical design algorithm (default EngineAuto).
+	Engine Engine
+	// SkipRewrite disables flow step (2).
+	SkipRewrite bool
+	// Rewrite tunes the rewriting step.
+	Rewrite rewrite.Options
+	// Exact tunes the exact physical design engine.
+	Exact pnr.ExactOptions
+	// SkipCellLevel stops after verification, without applying the gate
+	// library (useful for gate-level studies).
+	SkipCellLevel bool
+	// Library is the gate library to apply; nil uses the default library.
+	Library *gatelib.Library
+}
+
+// Result collects every artifact of a flow run.
+type Result struct {
+	Spec      *network.XAG
+	Rewritten *network.XAG
+	Mapped    *mapping.Net
+	Graph     *pnr.RGraph
+	Layout    *gatelayout.Layout
+	// EngineUsed reports which physical design engine produced the layout.
+	EngineUsed string
+	// Verification is the SAT equivalence-check outcome (flow step 5).
+	Verification verify.Result
+	// SuperTiles is the clock-zone expansion plan (flow step 6).
+	SuperTiles clocking.SuperTile
+	// CellLayout is the dot-accurate SiDB layout (flow step 7); nil when
+	// SkipCellLevel is set.
+	CellLayout *sidb.Layout
+	// SiDBs counts the dangling bonds of the cell-level layout.
+	SiDBs int
+	// AreaNM2 is the Table 1 layout area.
+	AreaNM2 float64
+}
+
+// Run executes the flow on a specification network.
+func Run(spec *network.XAG, opts Options) (*Result, error) {
+	res := &Result{Spec: spec}
+
+	// (2) logic rewriting.
+	if opts.SkipRewrite {
+		res.Rewritten = spec.Cleanup()
+	} else {
+		res.Rewritten = rewrite.Rewrite(spec, opts.Rewrite)
+	}
+
+	// (3) technology mapping.
+	m, err := mapping.Map(res.Rewritten)
+	if err != nil {
+		return res, fmt.Errorf("core: mapping: %w", err)
+	}
+	res.Mapped = m
+
+	// (4) physical design.
+	g, err := pnr.Expand(m)
+	if err != nil {
+		return res, fmt.Errorf("core: expansion: %w", err)
+	}
+	res.Graph = g
+	var layout *gatelayout.Layout
+	switch opts.Engine {
+	case EngineOrtho:
+		layout, err = pnr.Ortho(g)
+		res.EngineUsed = "ortho"
+	case EngineExact:
+		layout, err = pnr.Exact(g, opts.Exact)
+		res.EngineUsed = "exact"
+	default:
+		layout, err = pnr.Exact(g, opts.Exact)
+		res.EngineUsed = "exact"
+		if err != nil {
+			layout, err = pnr.Ortho(g)
+			res.EngineUsed = "ortho"
+		}
+	}
+	if err != nil {
+		return res, fmt.Errorf("core: physical design: %w", err)
+	}
+	res.Layout = layout
+
+	// Design rule check under the super-tile plan (flow step 6).
+	res.SuperTiles = clocking.PlanSuperTiles(clocking.MinMetalPitchNM)
+	if v := layout.Check(&res.SuperTiles); len(v) != 0 {
+		return res, fmt.Errorf("core: %d design-rule violations, first: %v", len(v), v[0])
+	}
+
+	// (5) formal verification.
+	eq, err := verify.EquivalentLayout(spec, layout)
+	if err != nil {
+		return res, fmt.Errorf("core: verification: %w", err)
+	}
+	res.Verification = eq
+	if !eq.Equivalent {
+		return res, fmt.Errorf("core: layout is NOT equivalent to the specification (cex %b)", eq.Counterexample)
+	}
+
+	res.AreaNM2 = gatelib.AreaNM2(layout.Width(), layout.Height())
+
+	// (7) gate library application.
+	if !opts.SkipCellLevel {
+		lib := opts.Library
+		if lib == nil {
+			lib = gatelib.NewLibrary()
+		}
+		cell, err := gatelib.Apply(lib, layout)
+		if err != nil {
+			return res, fmt.Errorf("core: library application: %w", err)
+		}
+		res.CellLayout = cell
+		res.SiDBs = cell.NumDots()
+	}
+	return res, nil
+}
+
+// RunBenchmark loads a named Table 1 benchmark and runs the flow.
+func RunBenchmark(name string, opts Options) (*Result, error) {
+	x, err := bench.Load(name)
+	if err != nil {
+		return nil, err
+	}
+	return Run(x, opts)
+}
+
+// ExportSQD renders the cell-level layout as a SiQAD design file (flow
+// step 8).
+func (r *Result) ExportSQD() (string, error) {
+	if r.CellLayout == nil {
+		return "", fmt.Errorf("core: no cell-level layout (SkipCellLevel?)")
+	}
+	return sqd.WriteString(r.CellLayout)
+}
+
+// Summary renders a one-line Table 1 style row: name, dimensions, area.
+func (r *Result) Summary() string {
+	l := r.Layout
+	return fmt.Sprintf("%-14s %2dx%-2d =%3d  %5d SiDBs  %10.2f nm2  [%s]",
+		r.Spec.Name, l.Width(), l.Height(), l.Area(), r.SiDBs, r.AreaNM2, r.EngineUsed)
+}

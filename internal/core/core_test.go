@@ -1,0 +1,225 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/logic/bench"
+	"repro/internal/logic/network"
+	"repro/internal/pnr"
+)
+
+func TestRunSmallBenchmarksOrtho(t *testing.T) {
+	for _, name := range []string{"xor2", "xnor2", "par_gen", "mux21"} {
+		res, err := RunBenchmark(name, Options{Engine: EngineOrtho})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Verification.Equivalent {
+			t.Errorf("%s: not verified", name)
+		}
+		if res.SiDBs == 0 || res.CellLayout == nil {
+			t.Errorf("%s: missing cell-level layout", name)
+		}
+		if res.AreaNM2 <= 0 {
+			t.Errorf("%s: bad area", name)
+		}
+		if res.SuperTiles.RowsPerSuperTile != 3 {
+			t.Errorf("%s: super-tile plan wrong: %+v", name, res.SuperTiles)
+		}
+	}
+}
+
+func TestRunExactMatchesPaperDims(t *testing.T) {
+	// The exact engine reproduces the paper's Table 1 dimensions on the
+	// small circuits.
+	cases := map[string][2]int{
+		"xor2":    {2, 3},
+		"xnor2":   {2, 3},
+		"par_gen": {3, 4},
+	}
+	for name, dims := range cases {
+		res, err := RunBenchmark(name, Options{Engine: EngineExact, SkipCellLevel: true})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Layout.Width() != dims[0] || res.Layout.Height() != dims[1] {
+			t.Errorf("%s: %dx%d, paper says %dx%d", name,
+				res.Layout.Width(), res.Layout.Height(), dims[0], dims[1])
+		}
+	}
+}
+
+func TestRunAutoFallsBack(t *testing.T) {
+	// With a tiny exact budget, auto mode must fall back to ortho and still
+	// deliver a verified layout.
+	res, err := RunBenchmark("cm82a_5", Options{
+		Exact:         pnr.ExactOptions{MaxArea: 4}, // absurdly small: exact must fail
+		SkipCellLevel: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EngineUsed != "ortho" {
+		t.Errorf("engine = %s, want ortho fallback", res.EngineUsed)
+	}
+	if !res.Verification.Equivalent {
+		t.Error("fallback layout not verified")
+	}
+}
+
+func TestRunSkipRewrite(t *testing.T) {
+	with, err := RunBenchmark("xor5_majority", Options{Engine: EngineOrtho, SkipCellLevel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := RunBenchmark("xor5_majority", Options{
+		Engine: EngineOrtho, SkipRewrite: true, SkipCellLevel: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Rewritten.NumGates() >= without.Rewritten.NumGates() {
+		t.Errorf("rewriting had no effect: %d vs %d gates",
+			with.Rewritten.NumGates(), without.Rewritten.NumGates())
+	}
+}
+
+func TestExportSQD(t *testing.T) {
+	res, err := RunBenchmark("xor2", Options{Engine: EngineOrtho})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := res.ExportSQD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(doc, "<siqad>") || !strings.Contains(doc, "dbdot") {
+		t.Error("SQD export malformed")
+	}
+}
+
+func TestExportSQDRequiresCellLevel(t *testing.T) {
+	res, err := RunBenchmark("xor2", Options{Engine: EngineOrtho, SkipCellLevel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.ExportSQD(); err == nil {
+		t.Error("ExportSQD must fail without a cell-level layout")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	res, err := RunBenchmark("xor2", Options{Engine: EngineOrtho})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Summary()
+	if !strings.Contains(s, "xor2") || !strings.Contains(s, "nm2") {
+		t.Errorf("summary malformed: %q", s)
+	}
+}
+
+func TestRunProgrammaticNetwork(t *testing.T) {
+	x := network.New()
+	x.Name = "majority_api"
+	a, b, c := x.NewPI("a"), x.NewPI("b"), x.NewPI("c")
+	x.NewPO(x.Maj(a, b, c), "m")
+	res, err := Run(x, Options{Engine: EngineOrtho, SkipCellLevel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for in := uint32(0); in < 8; in++ {
+		pop := in&1 + in>>1&1 + in>>2&1
+		want := uint32(0)
+		if pop >= 2 {
+			want = 1
+		}
+		if got := res.Layout.Simulate(in); got != want {
+			t.Errorf("maj(%03b) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestAllBenchmarksThroughFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, name := range bench.Names() {
+		res, err := RunBenchmark(name, Options{Engine: EngineOrtho})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Verification.Equivalent {
+			t.Errorf("%s: verification failed", name)
+		}
+		if res.SiDBs == 0 {
+			t.Errorf("%s: no SiDBs", name)
+		}
+	}
+}
+
+// TestEnginesAgreeOnRandomNetworks is the dual-engine property test: for
+// random small XAGs, both physical design engines must produce verified
+// layouts, and the exact engine must never use more area than the
+// scalable one.
+func TestEnginesAgreeOnRandomNetworks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 6; trial++ {
+		x := network.New()
+		x.Name = "rand"
+		var sigs []network.Signal
+		for i := 0; i < 3; i++ {
+			sigs = append(sigs, x.NewPI(""))
+		}
+		for g := 0; g < 5; g++ {
+			a := sigs[rng.Intn(len(sigs))].NotIf(rng.Intn(2) == 1)
+			b := sigs[rng.Intn(len(sigs))].NotIf(rng.Intn(2) == 1)
+			if a.Node() == b.Node() {
+				continue
+			}
+			if rng.Intn(2) == 0 {
+				sigs = append(sigs, x.And(a, b))
+			} else {
+				sigs = append(sigs, x.Xor(a, b))
+			}
+		}
+		x.NewPO(sigs[len(sigs)-1], "f")
+		xc := x.Cleanup()
+		if xc.NumGates() == 0 {
+			continue
+		}
+		// The tile library has no terminator for unused inputs; the flow
+		// rejects such specs, so skip trials that do not use every PI.
+		unused := false
+		fo := xc.FanoutCounts()
+		for i := 0; i < xc.NumPIs(); i++ {
+			if fo[xc.PI(i).Node()] == 0 {
+				unused = true
+			}
+		}
+		if unused {
+			continue
+		}
+		exact, err := Run(xc, Options{Engine: EngineExact, SkipCellLevel: true,
+			Exact: pnr.ExactOptions{ConflictBudget: 150000}})
+		if err != nil {
+			t.Fatalf("trial %d exact: %v", trial, err)
+		}
+		ortho, err := Run(xc, Options{Engine: EngineOrtho, SkipCellLevel: true})
+		if err != nil {
+			t.Fatalf("trial %d ortho: %v", trial, err)
+		}
+		if !exact.Verification.Equivalent || !ortho.Verification.Equivalent {
+			t.Fatalf("trial %d: verification failed", trial)
+		}
+		if exact.Layout.Area() > ortho.Layout.Area() {
+			t.Errorf("trial %d: exact area %d > ortho %d", trial,
+				exact.Layout.Area(), ortho.Layout.Area())
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package figures
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFig2Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"phase 0", "phase 3", "ACTIVE", "deactivated", "electrode"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig2 output missing %q", want)
+		}
+	}
+}
+
+func TestFig3Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig3(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Cartesian") || !strings.Contains(out, "Hexagonal") {
+		t.Error("Fig3 must compare both tilings")
+	}
+	// The hexagonal section must report zero mismatch, the Cartesian a
+	// non-zero one.
+	hexIdx := strings.Index(out, "Hexagonal")
+	if !strings.Contains(out[hexIdx:], "total angular mismatch: 0.0 deg") {
+		t.Error("hexagonal tiling must fit the Y-gate exactly")
+	}
+	cartIdx := strings.Index(out, "Cartesian")
+	cartSection := out[cartIdx:hexIdx]
+	if strings.Contains(cartSection, "total angular mismatch: 0.0 deg") {
+		t.Error("Cartesian tiling must not fit the Y-gate")
+	}
+}
+
+func TestFig4Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig4(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"60 x 46", "40 nm", "rows per super-tile", "zone"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig4 output missing %q", want)
+		}
+	}
+	if !strings.Contains(out, "rows per super-tile                  : 3") {
+		t.Error("super-tile plan must be 3 rows at 40 nm pitch")
+	}
+}
+
+func TestFig6Output(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	if err := Fig6(&buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"par_check", "verified equivalent: true", "SiDBs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig6 output missing %q", want)
+		}
+	}
+}
+
+func TestFig1cRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	if err := Fig1c(&buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "OR gate under") || !strings.Contains(out, "inputs a=1 b=1") {
+		t.Error("Fig1c output incomplete")
+	}
+}

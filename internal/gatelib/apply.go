@@ -1,0 +1,68 @@
+package gatelib
+
+import (
+	"fmt"
+
+	"repro/internal/gatelayout"
+	"repro/internal/gates"
+	"repro/internal/hexgrid"
+	"repro/internal/lattice"
+	"repro/internal/sidb"
+)
+
+// Apply maps every tile of a gate-level layout to its dot-accurate design,
+// yielding the final SiDB layout — flow step (7): "apply the Bestagon
+// library to map each gate to a dot-accurate representation".
+//
+// Tiles are placed on the hexagonal grid in odd-r offset coordinates: tile
+// (x, y) is instantiated at cell origin (60x + 30·(y mod 2), 46y).
+func Apply(lib *Library, l *gatelayout.Layout) (*sidb.Layout, error) {
+	out := &sidb.Layout{Name: l.Name}
+	for _, at := range l.Tiles() {
+		tile, _ := l.At(at)
+		if tile.Func == gates.None {
+			continue
+		}
+		d, err := lib.Get(tile.Func, tile.Ins, tile.Outs)
+		if err != nil {
+			return nil, fmt.Errorf("gatelib: tile %v: %w", at, err)
+		}
+		ox, oy := TileOrigin(at)
+		out.Merge(d.Layout(ox, oy))
+	}
+	return out, nil
+}
+
+// TileOrigin returns the cell origin of the tile at offset coordinate at.
+func TileOrigin(at hexgrid.Offset) (ox, oy int) {
+	ox = at.X*TileWidth + (mod2(at.Y))*TileWidth/2
+	oy = at.Y * TileHeight
+	return ox, oy
+}
+
+// mod2 is the non-negative y parity.
+func mod2(y int) int {
+	if y%2 != 0 {
+		return 1
+	}
+	return 0
+}
+
+// CountSiDBs returns the number of dots the layout would contain after
+// applying the library, without building the merged layout.
+func CountSiDBs(lib *Library, l *gatelayout.Layout) (int, error) {
+	s, err := Apply(lib, l)
+	if err != nil {
+		return 0, err
+	}
+	return s.NumDots(), nil
+}
+
+// AreaNM2 returns the physical layout area following the paper's Table 1
+// model: the bounding box spans the full w×h tile grid, measured as
+// ((60·w − 1) · 0.384 nm) × ((46·h − 1) · 0.384 nm).
+func AreaNM2(w, h int) float64 {
+	wNM := float64(TileWidth*w-1) * lattice.PitchX
+	hNM := float64(TileHeight*h-1) * (lattice.PitchY / 2)
+	return wNM * hNM
+}

@@ -1,0 +1,226 @@
+// Package gatelib implements the Bestagon standard-tile gate library:
+// dot-accurate SiDB implementations of every tile function on uniform
+// hexagonal tiles of 60×46 lattice cells (§4.1 of the paper), plus the
+// application of the library to gate-level layouts (flow step 7).
+//
+// Tile geometry follows the paper's template (Fig. 4): input BDL wire
+// stubs enter at the centers of the NW and NE borders, output stubs leave
+// toward SW and SE, and a logic design canvas sits at the center. Stub
+// lengths keep the canvases of adjacent tiles ≥ 10 nm apart. The concrete
+// dot placements were derived with the package's simulation-driven design
+// search (see internal/designer) and are validated against the SimAnneal
+// ground-state model with the paper's Fig. 5 parameters.
+package gatelib
+
+import (
+	"repro/internal/hexgrid"
+	"repro/internal/lattice"
+	"repro/internal/sidb"
+)
+
+// Tile dimensions in lattice cells, fixed by the Table 1 area model:
+// 60 cells wide, 46 sub-rows high.
+const (
+	TileWidth  = 60
+	TileHeight = 46
+)
+
+// Port x-positions (cells): west ports (NW/SW) and east ports (NE/SE).
+const (
+	PortWest = 15
+	PortEast = 45
+)
+
+// Pair is a BDL pair given by its anchor cell and orientation: the Bit0
+// (logic-0) dot sits at the anchor, the Bit1 (logic-1) dot two sub-rows
+// down and DX cells over (DX is +1 for right-leaning pairs, -1 for
+// left-leaning ones). The resulting intra-pair distance of 0.86 nm was
+// selected by the wire-geometry search: it propagates both logic states
+// cleanly at the Fig. 5 parameters.
+type Pair struct {
+	X, Y int // anchor cell (Bit0 dot)
+	DX   int // +1 or -1: forward-dot direction
+}
+
+// PairDY is the vertical intra-pair offset in sub-rows.
+const PairDY = 2
+
+// Dots returns the two dot sites of the pair.
+func (p Pair) Dots() (bit0, bit1 lattice.Site) {
+	return lattice.FromCell(p.X, p.Y), lattice.FromCell(p.X+p.DX, p.Y+PairDY)
+}
+
+// BDL converts the pair into its sidb representation.
+func (p Pair) BDL() sidb.BDLPair {
+	b0, b1 := p.Dots()
+	return sidb.BDLPair{Bit0: b0, Bit1: b1}
+}
+
+// Mirror reflects the pair across the tile's vertical center line.
+func (p Pair) Mirror() Pair {
+	return Pair{X: TileWidth - p.X, Y: p.Y, DX: -p.DX}
+}
+
+// Translate shifts the pair by (dx, dy) cells.
+func (p Pair) Translate(dx, dy int) Pair {
+	return Pair{X: p.X + dx, Y: p.Y + dy, DX: p.DX}
+}
+
+// chainSteps builds a run of pairs starting at anchor (x, y) and advancing
+// by the given steps. Pair orientation follows the sign of each step's
+// horizontal component (a zero dx keeps the previous orientation).
+func chainSteps(x, y int, steps [][2]int) []Pair {
+	out := []Pair{}
+	dx := 1
+	cx, cy := x, y
+	for i := 0; ; i++ {
+		if i < len(steps) && steps[i][0] < 0 {
+			dx = -1
+		} else if i < len(steps) && steps[i][0] > 0 {
+			dx = 1
+		}
+		out = append(out, Pair{X: cx, Y: cy, DX: dx})
+		if i == len(steps) {
+			break
+		}
+		cx += steps[i][0]
+		cy += steps[i][1]
+	}
+	return out
+}
+
+// repeatStep returns n copies of one step.
+func repeatStep(dx, dy, n int) [][2]int {
+	out := make([][2]int, n)
+	for i := range out {
+		out[i] = [2]int{dx, dy}
+	}
+	return out
+}
+
+// Validated inter-pair pitches (from the wire-geometry search at Fig. 5
+// parameters): (±4,6) is the floor of the family; (±4,7) and (±5,6) are
+// the standard ray steps. Pitches shorter than (4,6) are cheap
+// domain-wall sites and must not appear in chains (see
+// designrules_test.go).
+
+// Design is a dot-accurate tile implementation.
+type Design struct {
+	Name string
+	// Pairs are the BDL pairs of the tile (stubs, core, canvas).
+	Pairs []Pair
+	// Extra are additional single canvas dots (from the design search).
+	Extra []lattice.Site
+	// Perturbers are fixed peripheral perturbers that are part of the tile
+	// itself (not the I/O emulation ones).
+	Perturbers []lattice.Site
+	// Ins are the input pairs in port order (NW first).
+	Ins []Pair
+	// Outs are the output pairs in port order (SW first for 2-output).
+	Outs []Pair
+	// InDirs/OutDirs give the hexagon sides of the ports in port order.
+	InDirs  []hexgrid.Direction
+	OutDirs []hexgrid.Direction
+	// OutEmu optionally overrides the standalone-validation output
+	// perturber sites (one per output pair); used by designs whose
+	// downstream pair is not on the standard ray (e.g. vertical wires).
+	OutEmu []lattice.Site
+}
+
+// Layout instantiates the design as an SiDB layout at cell offset (ox, oy).
+func (d *Design) Layout(ox, oy int) *sidb.Layout {
+	l := &sidb.Layout{Name: d.Name}
+	inSet := map[Pair]bool{}
+	for _, p := range d.Ins {
+		inSet[p] = true
+	}
+	outSet := map[Pair]bool{}
+	for _, p := range d.Outs {
+		outSet[p] = true
+	}
+	for _, p := range d.Pairs {
+		role := sidb.RoleNormal
+		if inSet[p] {
+			role = sidb.RoleInput
+		} else if outSet[p] {
+			role = sidb.RoleOutput
+		}
+		b0, b1 := p.Translate(ox, oy).Dots()
+		l.Add(b0, role)
+		l.Add(b1, role)
+	}
+	for _, s := range d.Extra {
+		l.Add(s.Translate(ox, oy), sidb.RoleNormal)
+	}
+	for _, s := range d.Perturbers {
+		l.Add(s.Translate(ox, oy), sidb.RolePerturber)
+	}
+	return l
+}
+
+// Mirror reflects the whole design across the vertical center line,
+// swapping east and west ports.
+func (d *Design) Mirror(name string) *Design {
+	m := &Design{Name: name}
+	for _, p := range d.Pairs {
+		m.Pairs = append(m.Pairs, p.Mirror())
+	}
+	for _, s := range d.Extra {
+		x, y := s.Cell()
+		m.Extra = append(m.Extra, lattice.FromCell(TileWidth-x, y))
+	}
+	for _, s := range d.Perturbers {
+		x, y := s.Cell()
+		m.Perturbers = append(m.Perturbers, lattice.FromCell(TileWidth-x, y))
+	}
+	for _, p := range d.Ins {
+		m.Ins = append(m.Ins, p.Mirror())
+	}
+	for _, p := range d.Outs {
+		m.Outs = append(m.Outs, p.Mirror())
+	}
+	mirrorDir := func(dir hexgrid.Direction) hexgrid.Direction {
+		switch dir {
+		case hexgrid.NorthWest:
+			return hexgrid.NorthEast
+		case hexgrid.NorthEast:
+			return hexgrid.NorthWest
+		case hexgrid.SouthWest:
+			return hexgrid.SouthEast
+		case hexgrid.SouthEast:
+			return hexgrid.SouthWest
+		default:
+			return dir
+		}
+	}
+	for _, dir := range d.InDirs {
+		m.InDirs = append(m.InDirs, mirrorDir(dir))
+	}
+	for _, dir := range d.OutDirs {
+		m.OutDirs = append(m.OutDirs, mirrorDir(dir))
+	}
+	for _, s := range d.OutEmu {
+		x, y := s.Cell()
+		m.OutEmu = append(m.OutEmu, lattice.FromCell(TileWidth-x, y))
+	}
+	// Normalize port order: gate-level layouts list two-port sides as
+	// [NW, NE] and [SW, SE]; mirroring reverses them, so swap back (the
+	// mirrored functions are commutative, and fan-out copies are equal).
+	if len(m.InDirs) == 2 && m.InDirs[0] == hexgrid.NorthEast {
+		m.InDirs[0], m.InDirs[1] = m.InDirs[1], m.InDirs[0]
+		m.Ins[0], m.Ins[1] = m.Ins[1], m.Ins[0]
+	}
+	if len(m.OutDirs) == 2 && m.OutDirs[0] == hexgrid.SouthEast {
+		m.OutDirs[0], m.OutDirs[1] = m.OutDirs[1], m.OutDirs[0]
+		m.Outs[0], m.Outs[1] = m.Outs[1], m.Outs[0]
+		if len(m.OutEmu) == 2 {
+			m.OutEmu[0], m.OutEmu[1] = m.OutEmu[1], m.OutEmu[0]
+		}
+	}
+	return m
+}
+
+// NumDots returns the number of dots of the design.
+func (d *Design) NumDots() int {
+	return 2*len(d.Pairs) + len(d.Extra) + len(d.Perturbers)
+}

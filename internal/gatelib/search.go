@@ -1,0 +1,88 @@
+package gatelib
+
+import (
+	"repro/internal/designer"
+	"repro/internal/lattice"
+	"repro/internal/sidb"
+	"repro/internal/sim"
+)
+
+// FullTemplate builds a design-search template over the FULL tile of a
+// 2-in-1-out gate (all stub pairs present, I/O emulation identical to
+// Validate); used to refine short-model cores in their final context.
+func FullTemplate(truth func(uint32) uint32, params sim.Params) *designer.Template {
+	base := twoInDesign("full", nil)
+	var fixed []sidb.Dot
+	l := base.Layout(0, 0)
+	fixed = append(fixed, l.Dots...)
+	fixed = append(fixed, sidb.Dot{Site: OutputPerturber(base.Outs[0]), Role: sidb.RolePerturber})
+	ins := base.Ins
+	return &designer.Template{
+		Fixed: fixed,
+		InputPerturbers: func(pat uint32) []lattice.Site {
+			var ps []lattice.Site
+			for i, p := range ins {
+				ps = append(ps, InputEmulation(p, pat>>i&1 == 1)...)
+			}
+			return ps
+		},
+		NumInputs: 2,
+		Outputs:   []sidb.BDLPair{base.Outs[0].BDL()},
+		Target:    truth,
+		Params:    params,
+		UseAnneal: true,
+	}
+}
+
+// SearchTemplate builds the short-model design-search template used to
+// derive gate cores: truncated input stubs (the last two pairs before the
+// canvas), output stubs (the first two pairs after it), I/O perturber
+// emulation, and the target truth table. This is the search space the
+// paper's RL agent explored; internal/designer searches it stochastically.
+func SearchTemplate(nIn int, outSW, outSE bool, truth func(uint32) uint32, params sim.Params) *designer.Template {
+	var fixed []sidb.Dot
+	addPair := func(p Pair, role sidb.Role) {
+		b0, b1 := p.Dots()
+		fixed = append(fixed, sidb.Dot{Site: b0, Role: role}, sidb.Dot{Site: b1, Role: role})
+	}
+	var ins []Pair
+	nw := []Pair{{19, 7, 1}, {24, 13, 1}}
+	addPair(nw[0], sidb.RoleInput)
+	addPair(nw[1], sidb.RoleNormal)
+	ins = append(ins, nw[0])
+	if nIn == 2 {
+		ne := []Pair{{41, 7, -1}, {36, 13, -1}}
+		addPair(ne[0], sidb.RoleInput)
+		addPair(ne[1], sidb.RoleNormal)
+		ins = append(ins, ne[0])
+	}
+	var outs []sidb.BDLPair
+	if outSW {
+		sw := []Pair{{28, 26, -1}, {24, 33, -1}}
+		addPair(sw[0], sidb.RoleNormal)
+		addPair(sw[1], sidb.RoleOutput)
+		fixed = append(fixed, sidb.Dot{Site: OutputPerturber(sw[1]), Role: sidb.RolePerturber})
+		outs = append(outs, sw[1].BDL())
+	}
+	if outSE {
+		se := []Pair{{32, 26, 1}, {36, 33, 1}}
+		addPair(se[0], sidb.RoleNormal)
+		addPair(se[1], sidb.RoleOutput)
+		fixed = append(fixed, sidb.Dot{Site: OutputPerturber(se[1]), Role: sidb.RolePerturber})
+		outs = append(outs, se[1].BDL())
+	}
+	return &designer.Template{
+		Fixed: fixed,
+		InputPerturbers: func(pat uint32) []lattice.Site {
+			var ps []lattice.Site
+			for i, p := range ins {
+				ps = append(ps, InputEmulation(p, pat>>i&1 == 1)...)
+			}
+			return ps
+		},
+		NumInputs: nIn,
+		Outputs:   outs,
+		Target:    truth,
+		Params:    params,
+	}
+}

@@ -1,0 +1,202 @@
+package gatelib
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/designer"
+	"repro/internal/lattice"
+	"repro/internal/sidb"
+	"repro/internal/sim"
+)
+
+func buildTemplate(nIn int, outSW, outSE bool, truth func(uint32) uint32) *designer.Template {
+	return SearchTemplate(nIn, outSW, outSE, truth, sim.ParamsFig5)
+}
+
+// TestSearchOne searches a single target selected by GATE_SEARCH env var.
+func TestSearchOne(t *testing.T) {
+	target := os.Getenv("GATE_SEARCH")
+	if target == "" {
+		t.Skip("set GATE_SEARCH")
+	}
+	var tpl *designer.Template
+	opts := designer.DefaultOptions()
+	switch target {
+	case "AND":
+		tpl = buildTemplate(2, false, true, func(i uint32) uint32 { return i & (i >> 1) & 1 })
+	case "OR":
+		tpl = buildTemplate(2, false, true, func(i uint32) uint32 {
+			if i != 0 {
+				return 1
+			}
+			return 0
+		})
+	case "NAND":
+		tpl = buildTemplate(2, false, true, func(i uint32) uint32 { return (i & (i >> 1) & 1) ^ 1 })
+	case "NOR":
+		tpl = buildTemplate(2, false, true, func(i uint32) uint32 {
+			if i == 0 {
+				return 1
+			}
+			return 0
+		})
+	case "XOR5":
+		tpl = buildTemplate(2, false, true, func(i uint32) uint32 { return (i ^ i>>1) & 1 })
+		opts.Seed = 5
+		opts.Restarts = 30
+		opts.Iterations = 400
+		opts.MaxDots = 6
+		opts.MinDots = 2
+	case "XOR":
+		tpl = buildTemplate(2, false, true, func(i uint32) uint32 { return (i ^ i>>1) & 1 })
+		opts.Restarts = 16
+		opts.Iterations = 300
+		opts.MaxDots = 4
+	case "XNOR":
+		tpl = buildTemplate(2, false, true, func(i uint32) uint32 { return ((i ^ i>>1) & 1) ^ 1 })
+		opts.Restarts = 16
+		opts.Iterations = 300
+		opts.MaxDots = 4
+	case "XNOR2":
+		tpl = buildTemplate(2, false, true, func(i uint32) uint32 { return ((i ^ i>>1) & 1) ^ 1 })
+		opts.Seed = 7
+		opts.Restarts = 30
+		opts.Iterations = 400
+		opts.MaxDots = 6
+		opts.MinDots = 2
+	case "FANOUT2":
+		tpl = buildTemplate(1, true, true, func(i uint32) uint32 { return i * 3 })
+		opts.Seed = 7
+		opts.Restarts = 30
+		opts.Iterations = 400
+		opts.MaxDots = 6
+		opts.MinDots = 1
+	case "OR28":
+		tpl = buildTemplate(2, false, true, func(i uint32) uint32 {
+			if i != 0 {
+				return 1
+			}
+			return 0
+		})
+		tpl.Params = sim.ParamsFig1c
+		opts.Restarts = 16
+		opts.Iterations = 300
+		opts.MaxDots = 5
+	case "INV":
+		tpl = buildTemplate(1, false, true, func(i uint32) uint32 { return i ^ 1 })
+		opts.Restarts = 20
+		opts.Iterations = 500
+		opts.MaxDots = 5
+	case "INVD":
+		// Diagonal inverter: NW input, SW output.
+		tpl = buildTemplate(1, true, false, func(i uint32) uint32 { return i ^ 1 })
+		opts.Restarts = 24
+		opts.Iterations = 500
+		opts.MaxDots = 5
+	case "WIRED":
+		// Diagonal buffer core: NW input, SW output (replaces the vertical
+		// diag wire if the pure chain cannot be made operational).
+		tpl = buildTemplate(1, true, false, func(i uint32) uint32 { return i & 1 })
+		opts.Restarts = 24
+		opts.Iterations = 500
+		opts.MaxDots = 5
+	case "FANOUT":
+		tpl = buildTemplate(1, true, true, func(i uint32) uint32 { return i * 3 })
+		opts.Restarts = 16
+		opts.Iterations = 300
+		opts.MaxDots = 4
+	case "CROSS":
+		tpl = buildTemplate(2, true, true, func(i uint32) uint32 { return (i>>1)&1 | (i&1)<<1 })
+		opts.Restarts = 10
+		opts.Iterations = 150
+		opts.MaxDots = 3
+	case "HA":
+		tpl = buildTemplate(2, true, true, func(i uint32) uint32 {
+			x := (i ^ i>>1) & 1
+			a := i & (i >> 1) & 1
+			return x | a<<1 // sum on SW (port0), carry on SE (port1)
+		})
+		opts.Restarts = 10
+		opts.Iterations = 150
+		opts.MaxDots = 3
+	case "DIAG":
+		// Diagonal (NW -> SW) wire: fixed first and last pairs on the west
+		// side; the search places the connecting dots freely.
+		var fixed []sidb.Dot
+		first := Pair{15, 0, 1}
+		last := Pair{15, 39, -1}
+		for _, pr := range []struct {
+			p Pair
+			r sidb.Role
+		}{{first, sidb.RoleInput}, {last, sidb.RoleOutput}} {
+			b0, b1 := pr.p.Dots()
+			fixed = append(fixed, sidb.Dot{Site: b0, Role: pr.r}, sidb.Dot{Site: b1, Role: pr.r})
+		}
+		fixed = append(fixed,
+			sidb.Dot{Site: c(15, 46), Role: sidb.RolePerturber},
+			sidb.Dot{Site: c(11, 53), Role: sidb.RolePerturber})
+		tpl = &designer.Template{
+			Fixed: fixed,
+			InputPerturbers: func(pat uint32) []lattice.Site {
+				return InputEmulation(first, pat&1 == 1)
+			},
+			NumInputs: 1,
+			Outputs:   []sidb.BDLPair{last.BDL()},
+			Target:    func(i uint32) uint32 { return i & 1 },
+			Params:    sim.ParamsFig5,
+		}
+		opts.Restarts = 24
+		opts.Iterations = 400
+		opts.MinDots = 4
+		opts.MaxDots = 8
+		cands := designer.Grid(8, 5, 26, 36, 2, tpl.Fixed, 0.6)
+		best, err := designer.Search(tpl, cands, opts)
+		fmt.Printf("RESULT %s err=%v correct=%d/%d gap=%.4f canvas=%v\n",
+			target, err, best.Correct, best.Patterns, best.MinGap, best.Canvas)
+		return
+	case "FULL_AND", "FULL_OR", "FULL_NAND", "FULL_NOR", "FULL_XOR", "FULL_XNOR":
+		truths := map[string]func(uint32) uint32{
+			"FULL_AND": func(i uint32) uint32 { return i & (i >> 1) & 1 },
+			"FULL_OR": func(i uint32) uint32 {
+				if i != 0 {
+					return 1
+				}
+				return 0
+			},
+			"FULL_NAND": func(i uint32) uint32 { return (i & (i >> 1) & 1) ^ 1 },
+			"FULL_NOR": func(i uint32) uint32 {
+				if i == 0 {
+					return 1
+				}
+				return 0
+			},
+			"FULL_XOR":  func(i uint32) uint32 { return (i ^ i>>1) & 1 },
+			"FULL_XNOR": func(i uint32) uint32 { return ((i ^ i>>1) & 1) ^ 1 },
+		}
+		seeds := map[string][]lattice.Site{
+			"FULL_AND": canvasAND, "FULL_OR": canvasOR, "FULL_NAND": canvasNAND,
+			"FULL_NOR": canvasNOR, "FULL_XOR": canvasXOR, "FULL_XNOR": canvasXNOR,
+		}
+		tpl = FullTemplate(truths[target], sim.ParamsFig5)
+		opts.Restarts = 10
+		opts.Iterations = 250
+		opts.MinDots = 2
+		opts.MaxDots = 5
+		opts.Initial = seeds[target]
+		if os.Getenv("GATE_EXACT") != "" {
+			// Exhaustive evaluation (slow): seeded local refinement only.
+			tpl.UseAnneal = false
+			opts.Restarts = 2
+			opts.Iterations = 70
+			opts.MaxDots = 4
+		}
+	default:
+		t.Fatalf("unknown target %q", target)
+	}
+	cands := designer.Grid(18, 12, 42, 30, 2, tpl.Fixed, 0.6)
+	best, err := designer.Search(tpl, cands, opts)
+	fmt.Printf("RESULT %s err=%v correct=%d/%d gap=%.4f canvas=%v\n",
+		target, err, best.Correct, best.Patterns, best.MinGap, best.Canvas)
+}

@@ -1,0 +1,300 @@
+package hexgrid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOffsetCubeRoundTrip(t *testing.T) {
+	f := func(x, y int8) bool {
+		o := Offset{int(x), int(y)}
+		return o.ToCube().ToOffset() == o
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCubeValidAfterConversion(t *testing.T) {
+	f := func(x, y int8) bool {
+		return Offset{int(x), int(y)}.ToCube().Valid()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAxialRoundTrip(t *testing.T) {
+	f := func(x, y int8) bool {
+		o := Offset{int(x), int(y)}
+		return o.ToAxial().ToOffset() == o
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeighborMatchesCubeStep(t *testing.T) {
+	for _, o := range []Offset{{0, 0}, {3, 4}, {5, 5}, {-2, 7}, {0, -3}, {1, 1}} {
+		for _, d := range Directions {
+			got := o.Neighbor(d)
+			want := o.ToCube().Step(d).ToOffset()
+			if got != want {
+				t.Errorf("Neighbor(%v, %v) = %v, cube says %v", o, d, got, want)
+			}
+		}
+	}
+}
+
+func TestNeighborEvenRow(t *testing.T) {
+	o := Offset{2, 2} // even row: NW is (x-1, y-1)
+	cases := map[Direction]Offset{
+		NorthWest: {1, 1}, NorthEast: {2, 1},
+		SouthWest: {1, 3}, SouthEast: {2, 3},
+		West: {1, 2}, East: {3, 2},
+	}
+	for d, want := range cases {
+		if got := o.Neighbor(d); got != want {
+			t.Errorf("even row %v: got %v, want %v", d, got, want)
+		}
+	}
+}
+
+func TestNeighborOddRow(t *testing.T) {
+	o := Offset{2, 3} // odd row (shifted right): NW is (x, y-1)
+	cases := map[Direction]Offset{
+		NorthWest: {2, 2}, NorthEast: {3, 2},
+		SouthWest: {2, 4}, SouthEast: {3, 4},
+		West: {1, 3}, East: {3, 3},
+	}
+	for d, want := range cases {
+		if got := o.Neighbor(d); got != want {
+			t.Errorf("odd row %v: got %v, want %v", d, got, want)
+		}
+	}
+}
+
+func TestOppositeInvolution(t *testing.T) {
+	for _, d := range Directions {
+		if d.Opposite().Opposite() != d {
+			t.Errorf("Opposite not involutive for %v", d)
+		}
+	}
+}
+
+func TestNeighborOppositeRoundTrip(t *testing.T) {
+	f := func(x, y int8, dRaw uint8) bool {
+		o := Offset{int(x), int(y)}
+		d := Directions[int(dRaw)%6]
+		return o.Neighbor(d).Neighbor(d.Opposite()) == o
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncomingOutgoing(t *testing.T) {
+	if !NorthWest.Incoming() || !NorthEast.Incoming() {
+		t.Error("NW/NE must be incoming")
+	}
+	if !SouthWest.Outgoing() || !SouthEast.Outgoing() {
+		t.Error("SW/SE must be outgoing")
+	}
+	for _, d := range []Direction{West, East} {
+		if d.Incoming() || d.Outgoing() {
+			t.Errorf("%v must be neither incoming nor outgoing", d)
+		}
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	f := func(ax, ay, bx, by int8) bool {
+		a := Offset{int(ax), int(ay)}
+		b := Offset{int(bx), int(by)}
+		d := a.Distance(b)
+		if d < 0 {
+			return false
+		}
+		if (d == 0) != (a == b) {
+			return false
+		}
+		return d == b.Distance(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceTriangleInequality(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int8) bool {
+		a := Offset{int(ax), int(ay)}
+		b := Offset{int(bx), int(by)}
+		c := Offset{int(cx), int(cy)}
+		return a.Distance(c) <= a.Distance(b)+b.Distance(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeighborsAreDistanceOne(t *testing.T) {
+	o := Offset{4, 7}
+	for _, n := range o.Neighbors() {
+		if o.Distance(n) != 1 {
+			t.Errorf("neighbor %v at distance %d", n, o.Distance(n))
+		}
+	}
+}
+
+func TestDirectionTo(t *testing.T) {
+	o := Offset{3, 3}
+	for _, d := range Directions {
+		n := o.Neighbor(d)
+		got, ok := o.DirectionTo(n)
+		if !ok || got != d {
+			t.Errorf("DirectionTo(%v): got %v/%v, want %v", n, got, ok, d)
+		}
+	}
+	if _, ok := o.DirectionTo(Offset{10, 10}); ok {
+		t.Error("DirectionTo must fail for non-neighbors")
+	}
+	if _, ok := o.DirectionTo(o); ok {
+		t.Error("DirectionTo must fail for self")
+	}
+}
+
+func TestLineEndpointsAndLength(t *testing.T) {
+	a := Offset{0, 0}.ToCube()
+	b := Offset{5, 7}.ToCube()
+	line := Line(a, b)
+	if line[0] != a || line[len(line)-1] != b {
+		t.Fatalf("line endpoints wrong: %v ... %v", line[0], line[len(line)-1])
+	}
+	if len(line) != a.Distance(b)+1 {
+		t.Fatalf("line length %d, want %d", len(line), a.Distance(b)+1)
+	}
+	for i := 1; i < len(line); i++ {
+		if line[i-1].Distance(line[i]) != 1 {
+			t.Fatalf("line not contiguous at %d", i)
+		}
+	}
+}
+
+func TestRingSizeAndRadius(t *testing.T) {
+	c := Offset{5, 5}.ToCube()
+	for r := 1; r <= 4; r++ {
+		ring := Ring(c, r)
+		if len(ring) != 6*r {
+			t.Fatalf("ring %d has %d hexes, want %d", r, len(ring), 6*r)
+		}
+		seen := map[Cube]bool{}
+		for _, h := range ring {
+			if c.Distance(h) != r {
+				t.Fatalf("ring %d contains %v at distance %d", r, h, c.Distance(h))
+			}
+			if seen[h] {
+				t.Fatalf("ring %d repeats %v", r, h)
+			}
+			seen[h] = true
+		}
+	}
+	if got := Ring(c, 0); len(got) != 1 || got[0] != c {
+		t.Error("ring 0 must be just the center")
+	}
+}
+
+func TestSpiralCount(t *testing.T) {
+	c := Cube{}
+	for r := 0; r <= 4; r++ {
+		want := 1 + 3*r*(r+1) // centered hexagonal numbers
+		if got := len(Spiral(c, r)); got != want {
+			t.Errorf("spiral %d: got %d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestRotate60SixFold(t *testing.T) {
+	f := func(x, y int8) bool {
+		c := Offset{int(x), int(y)}.ToCube()
+		r := c
+		for i := 0; i < 6; i++ {
+			r = r.Rotate60CW()
+			if !r.Valid() {
+				return false
+			}
+		}
+		return r == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRotateInverses(t *testing.T) {
+	f := func(x, y int8) bool {
+		c := Offset{int(x), int(y)}.ToCube()
+		return c.Rotate60CW().Rotate60CCW() == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReflectQInvolution(t *testing.T) {
+	f := func(x, y int8) bool {
+		c := Offset{int(x), int(y)}.ToCube()
+		return c.ReflectQ().ReflectQ() == c && c.ReflectQ().Valid()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCenterOddRowShift(t *testing.T) {
+	x0, _ := Offset{0, 0}.Center()
+	x1, _ := Offset{0, 1}.Center()
+	if x1 <= x0 {
+		t.Error("odd rows must be shifted right in odd-r layout")
+	}
+	_, y0 := Offset{0, 0}.Center()
+	_, y1 := Offset{0, 1}.Center()
+	if y1-y0 != 1.5 {
+		t.Errorf("vertical pitch %v, want 1.5", y1-y0)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	b := NewBounds(3, 4)
+	if b.Width() != 3 || b.Height() != 4 || b.Area() != 12 {
+		t.Fatalf("bounds dims wrong: %+v", b)
+	}
+	if !b.Contains(Offset{0, 0}) || !b.Contains(Offset{2, 3}) {
+		t.Error("bounds must contain corners")
+	}
+	if b.Contains(Offset{3, 0}) || b.Contains(Offset{0, 4}) || b.Contains(Offset{-1, 0}) {
+		t.Error("bounds must exclude outside coordinates")
+	}
+	all := b.All()
+	if len(all) != 12 {
+		t.Fatalf("All returned %d coords", len(all))
+	}
+	seen := map[Offset]bool{}
+	for _, o := range all {
+		if !b.Contains(o) || seen[o] {
+			t.Fatalf("All returned bad/duplicate coordinate %v", o)
+		}
+		seen[o] = true
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	names := map[Direction]string{
+		NorthWest: "NW", NorthEast: "NE", SouthWest: "SW",
+		SouthEast: "SE", West: "W", East: "E",
+	}
+	for d, want := range names {
+		if d.String() != want {
+			t.Errorf("%v.String() = %q", d, d.String())
+		}
+	}
+}

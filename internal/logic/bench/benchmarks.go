@@ -1,0 +1,328 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/logic/network"
+)
+
+// Benchmark is one of the Table 1 evaluation circuits.
+type Benchmark struct {
+	Name   string // benchmark name as printed in Table 1
+	Suite  string // "trindade16" [43] or "fontes18" [13]
+	Source string // .bench netlist
+	// PaperW, PaperH, PaperSiDBs, PaperArea record the Table 1 reference
+	// values for the EXPERIMENTS.md comparison.
+	PaperW, PaperH, PaperSiDBs int
+	PaperArea                  float64
+	// Note documents reconstruction caveats (see DESIGN.md §3).
+	Note string
+}
+
+// Benchmarks lists all Table 1 circuits in paper order.
+//
+// c17 is the exact ISCAS-85 netlist. The trindade16 functions follow the
+// published benchmark set. The fontes18 netlists are functional
+// reconstructions with matching I/O counts: the original Verilog is not
+// redistributed with the paper.
+var Benchmarks = []Benchmark{
+	{
+		Name: "xor2", Suite: "trindade16",
+		PaperW: 2, PaperH: 3, PaperSiDBs: 58, PaperArea: 2403.98,
+		Source: `# 2-input XOR
+INPUT(a)
+INPUT(b)
+OUTPUT(f)
+f = XOR(a, b)
+`,
+	},
+	{
+		Name: "xnor2", Suite: "trindade16",
+		PaperW: 2, PaperH: 3, PaperSiDBs: 58, PaperArea: 2403.98,
+		Source: `# 2-input XNOR
+INPUT(a)
+INPUT(b)
+OUTPUT(f)
+f = XNOR(a, b)
+`,
+	},
+	{
+		Name: "par_gen", Suite: "trindade16",
+		PaperW: 3, PaperH: 4, PaperSiDBs: 103, PaperArea: 4830.22,
+		Source: `# 3-bit even-parity generator
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(p)
+t = XOR(a, b)
+p = XOR(t, c)
+`,
+	},
+	{
+		Name: "mux21", Suite: "trindade16",
+		PaperW: 3, PaperH: 6, PaperSiDBs: 196, PaperArea: 7258.52,
+		Source: `# 2:1 multiplexer
+INPUT(a)
+INPUT(b)
+INPUT(s)
+OUTPUT(f)
+ns = NOT(s)
+t0 = AND(a, ns)
+t1 = AND(b, s)
+f = OR(t0, t1)
+`,
+	},
+	{
+		Name: "par_check", Suite: "trindade16",
+		PaperW: 4, PaperH: 7, PaperSiDBs: 284, PaperArea: 11312.68,
+		Source: `# 4-bit parity checker (3 data bits + parity bit -> error flag)
+INPUT(d0)
+INPUT(d1)
+INPUT(d2)
+INPUT(p)
+OUTPUT(err)
+e0 = XNOR(d0, d1)
+e1 = XNOR(d2, p)
+err = XNOR(e0, e1)
+`,
+	},
+	{
+		Name: "xor5_r1", Suite: "fontes18",
+		PaperW: 5, PaperH: 6, PaperSiDBs: 232, PaperArea: 12124.57,
+		Source: `# 5-input XOR, balanced-tree realization
+INPUT(x0)
+INPUT(x1)
+INPUT(x2)
+INPUT(x3)
+INPUT(x4)
+OUTPUT(f)
+t0 = XOR(x0, x1)
+t1 = XOR(x2, x3)
+t2 = XOR(t0, t1)
+f = XOR(t2, x4)
+`,
+	},
+	{
+		Name: "xor5_majority", Suite: "fontes18",
+		PaperW: 5, PaperH: 6, PaperSiDBs: 244, PaperArea: 12124.57,
+		Note: "xor5 realized through majority gates, as in the original QCA benchmark",
+		Source: `# 5-input XOR built from majority gates (MAJ-based XOR cells)
+INPUT(x0)
+INPUT(x1)
+INPUT(x2)
+INPUT(x3)
+INPUT(x4)
+OUTPUT(f)
+a0 = MAJ(x0, x1, c0)
+o0 = MAJ(x0, x1, c1)
+n0 = NOT(a0)
+t0 = MAJ(o0, n0, c0)
+a1 = MAJ(x2, x3, c0)
+o1 = MAJ(x2, x3, c1)
+n1 = NOT(a1)
+t1 = MAJ(o1, n1, c0)
+a2 = MAJ(t0, t1, c0)
+o2 = MAJ(t0, t1, c1)
+n2 = NOT(a2)
+t2 = MAJ(o2, n2, c0)
+a3 = MAJ(t2, x4, c0)
+o3 = MAJ(t2, x4, c1)
+n3 = NOT(a3)
+f = MAJ(o3, n3, c0)
+c0 = CONST0()
+c1 = CONST1()
+`,
+	},
+	{
+		Name: "t", Suite: "fontes18",
+		PaperW: 5, PaperH: 8, PaperSiDBs: 426, PaperArea: 16180.79,
+		Note: "reconstructed control-logic netlist with the original 5-in/2-out interface",
+		Source: `# t: small two-output control block
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+INPUT(e)
+OUTPUT(f)
+OUTPUT(g)
+w0 = AND(a, b)
+w1 = OR(c, d)
+w2 = XOR(w0, w1)
+w3 = AND(w1, e)
+f = OR(w2, w3)
+g = NAND(w0, e)
+`,
+	},
+	{
+		Name: "t_5", Suite: "fontes18",
+		PaperW: 5, PaperH: 8, PaperSiDBs: 448, PaperArea: 16180.79,
+		Note: "alternative realization of t (same functions, different structure)",
+		Source: `# t_5: alternative realization of t
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+INPUT(e)
+OUTPUT(f)
+OUTPUT(g)
+v0 = NAND(a, b)
+w0 = NOT(v0)
+w1 = NOR(c, d)
+nw1 = NOT(w1)
+w2 = XNOR(w0, nw1)
+nw2 = NOT(w2)
+w3 = AND(nw1, e)
+f = OR(nw2, w3)
+g = NAND(w0, e)
+`,
+	},
+	{
+		Name: "c17", Suite: "fontes18",
+		PaperW: 5, PaperH: 8, PaperSiDBs: 396, PaperArea: 16180.79,
+		Note: "exact ISCAS-85 c17 netlist [7]",
+		Source: `# ISCAS-85 c17
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+`,
+	},
+	{
+		Name: "majority", Suite: "fontes18",
+		PaperW: 5, PaperH: 11, PaperSiDBs: 651, PaperArea: 22265.12,
+		Note: "3-input majority in AND/OR form, as in the QCA benchmark set",
+		Source: `# 3-input majority voter
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(m)
+t0 = AND(a, b)
+t1 = AND(a, c)
+t2 = AND(b, c)
+t3 = OR(t0, t1)
+m = OR(t3, t2)
+`,
+	},
+	{
+		Name: "majority_5_r1", Suite: "fontes18",
+		PaperW: 5, PaperH: 12, PaperSiDBs: 737, PaperArea: 24293.23,
+		Note: "5-input majority via full-adder compression",
+		Source: `# 5-input majority voter via carry-save compression:
+# count(x0..x4) = 2*(c0+c1+l) + (s1^s2); majority iff count >= 3.
+INPUT(x0)
+INPUT(x1)
+INPUT(x2)
+INPUT(x3)
+INPUT(x4)
+OUTPUT(m)
+s0 = XOR(x0, x1)
+s1 = XOR(s0, x2)
+c0 = MAJ(x0, x1, x2)
+s2 = XOR(x3, x4)
+c1 = AND(x3, x4)
+l = AND(s1, s2)
+h = MAJ(c0, c1, l)
+any2 = OR(c0, c1, l)
+ones = XOR(s1, s2)
+lo = AND(any2, ones)
+m = OR(h, lo)
+`,
+	},
+	{
+		Name: "cm82a_5", Suite: "fontes18",
+		PaperW: 5, PaperH: 15, PaperSiDBs: 1211, PaperArea: 30377.56,
+		Note: "cm82a (MCNC) 2-bit adder slice: 5 inputs, 3 outputs",
+		Source: `# cm82a_5: two chained full adders
+INPUT(a)
+INPUT(b)
+INPUT(cin)
+INPUT(c)
+INPUT(d)
+OUTPUT(s0)
+OUTPUT(s1)
+OUTPUT(cout)
+t0 = XOR(a, b)
+s0 = XOR(t0, cin)
+k0 = MAJ(a, b, cin)
+t1 = XOR(c, d)
+s1 = XOR(t1, k0)
+cout = MAJ(c, d, k0)
+`,
+	},
+	{
+		Name: "newtag", Suite: "fontes18",
+		PaperW: 8, PaperH: 10, PaperSiDBs: 651, PaperArea: 32419.82,
+		Note: "newtag (MCNC) reconstruction: 8 inputs, 1 output tag-match logic",
+		Source: `# newtag: 8-input tag comparator slice
+INPUT(a0)
+INPUT(a1)
+INPUT(a2)
+INPUT(a3)
+INPUT(b0)
+INPUT(b1)
+INPUT(b2)
+INPUT(b3)
+OUTPUT(hit)
+m0 = XNOR(a0, b0)
+m1 = XNOR(a1, b1)
+m2 = XNOR(a2, b2)
+m3 = XNOR(a3, b3)
+h0 = AND(m0, m1)
+h1 = AND(m2, m3)
+hit = AND(h0, h1)
+`,
+	},
+}
+
+// Load parses the named benchmark into an XAG.
+func Load(name string) (*network.XAG, error) {
+	for _, b := range Benchmarks {
+		if b.Name == name {
+			return ParseBench(b.Name, b.Source)
+		}
+	}
+	return nil, fmt.Errorf("bench: unknown benchmark %q", name)
+}
+
+// Names returns all benchmark names in Table 1 order.
+func Names() []string {
+	out := make([]string, len(Benchmarks))
+	for i, b := range Benchmarks {
+		out[i] = b.Name
+	}
+	return out
+}
+
+// ByName returns the Benchmark record for name.
+func ByName(name string) (Benchmark, bool) {
+	for _, b := range Benchmarks {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// SuiteNames returns the sorted list of distinct suites.
+func SuiteNames() []string {
+	set := map[string]bool{}
+	for _, b := range Benchmarks {
+		set[b.Suite] = true
+	}
+	var out []string
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,340 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"repro/internal/logic/network"
+)
+
+// ParseVerilog parses a small structural Verilog subset into an XAG. The
+// subset covers what gate-level FCN benchmarks use: one module with input,
+// output, and wire declarations plus continuous assignments built from
+// identifiers, ~, &, |, ^, parentheses, and the constants 1'b0/1'b1.
+func ParseVerilog(src string) (*network.XAG, error) {
+	p := &vParser{src: src}
+	return p.parse()
+}
+
+type vParser struct {
+	src string
+}
+
+// parse walks the module statements.
+func (p *vParser) parse() (*network.XAG, error) {
+	src := stripComments(p.src)
+	x := network.New()
+	signals := map[string]network.Signal{}
+	type assign struct{ lhs, rhs string }
+	var assigns []assign
+	var outputs []string
+	declared := map[string]bool{}
+
+	stmts := strings.Split(src, ";")
+	for _, stmt := range stmts {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" || stmt == "endmodule" {
+			continue
+		}
+		// The endmodule keyword has no semicolon; it may be glued to the
+		// last statement after splitting.
+		stmt = strings.TrimSuffix(stmt, "endmodule")
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(stmt, "module"):
+			rest := strings.TrimSpace(strings.TrimPrefix(stmt, "module"))
+			if i := strings.IndexByte(rest, '('); i >= 0 {
+				x.Name = strings.TrimSpace(rest[:i])
+			} else {
+				x.Name = rest
+			}
+		case strings.HasPrefix(stmt, "input"):
+			for _, n := range splitIdentList(strings.TrimPrefix(stmt, "input")) {
+				if declared[n] {
+					return nil, fmt.Errorf("verilog: %q declared twice", n)
+				}
+				declared[n] = true
+				signals[n] = x.NewPI(n)
+			}
+		case strings.HasPrefix(stmt, "output"):
+			for _, n := range splitIdentList(strings.TrimPrefix(stmt, "output")) {
+				if declared[n] {
+					return nil, fmt.Errorf("verilog: %q declared twice", n)
+				}
+				declared[n] = true
+				outputs = append(outputs, n)
+			}
+		case strings.HasPrefix(stmt, "wire"):
+			for _, n := range splitIdentList(strings.TrimPrefix(stmt, "wire")) {
+				declared[n] = true
+			}
+		case strings.HasPrefix(stmt, "assign"):
+			body := strings.TrimSpace(strings.TrimPrefix(stmt, "assign"))
+			eq := strings.IndexByte(body, '=')
+			if eq < 0 {
+				return nil, fmt.Errorf("verilog: malformed assign %q", stmt)
+			}
+			assigns = append(assigns, assign{
+				lhs: strings.TrimSpace(body[:eq]),
+				rhs: strings.TrimSpace(body[eq+1:]),
+			})
+		default:
+			return nil, fmt.Errorf("verilog: unsupported statement %q", stmt)
+		}
+	}
+
+	// Resolve assignments to a fixpoint (they may be out of order).
+	remaining := assigns
+	for len(remaining) > 0 {
+		var next []assign
+		progress := false
+		for _, a := range remaining {
+			sig, err := evalExpr(x, a.rhs, signals)
+			if err != nil {
+				if _, unresolved := err.(errUnresolved); unresolved {
+					next = append(next, a)
+					continue
+				}
+				return nil, err
+			}
+			if _, dup := signals[a.lhs]; dup {
+				return nil, fmt.Errorf("verilog: %q assigned twice", a.lhs)
+			}
+			signals[a.lhs] = sig
+			progress = true
+		}
+		if !progress {
+			return nil, fmt.Errorf("verilog: unresolvable assign to %q", next[0].lhs)
+		}
+		remaining = next
+	}
+
+	for _, o := range outputs {
+		s, ok := signals[o]
+		if !ok {
+			return nil, fmt.Errorf("verilog: output %q never assigned", o)
+		}
+		x.NewPO(s, o)
+	}
+	if x.NumPOs() == 0 {
+		return nil, fmt.Errorf("verilog: no outputs")
+	}
+	return x, nil
+}
+
+// stripComments removes // line and /* */ block comments.
+func stripComments(s string) string {
+	var sb strings.Builder
+	for i := 0; i < len(s); {
+		if strings.HasPrefix(s[i:], "//") {
+			j := strings.IndexByte(s[i:], '\n')
+			if j < 0 {
+				break
+			}
+			i += j
+			continue
+		}
+		if strings.HasPrefix(s[i:], "/*") {
+			j := strings.Index(s[i:], "*/")
+			if j < 0 {
+				break
+			}
+			i += j + 2
+			continue
+		}
+		sb.WriteByte(s[i])
+		i++
+	}
+	return sb.String()
+}
+
+// splitIdentList splits "a, b, c" into identifiers.
+func splitIdentList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// errUnresolved marks expressions that reference not-yet-defined wires.
+type errUnresolved string
+
+func (e errUnresolved) Error() string { return "unresolved identifier " + string(e) }
+
+// evalExpr parses and evaluates an expression with precedence
+// ~ > & > ^ > | (standard Verilog ordering).
+func evalExpr(x *network.XAG, expr string, env map[string]network.Signal) (network.Signal, error) {
+	toks, err := tokenize(expr)
+	if err != nil {
+		return 0, err
+	}
+	p := &exprParser{x: x, toks: toks, env: env}
+	s, err := p.parseOr()
+	if err != nil {
+		return 0, err
+	}
+	if p.pos != len(p.toks) {
+		return 0, fmt.Errorf("verilog: trailing tokens in %q", expr)
+	}
+	return s, nil
+}
+
+type exprParser struct {
+	x    *network.XAG
+	toks []string
+	pos  int
+	env  map[string]network.Signal
+}
+
+func (p *exprParser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *exprParser) parseOr() (network.Signal, error) {
+	s, err := p.parseXor()
+	if err != nil {
+		return 0, err
+	}
+	for p.peek() == "|" {
+		p.pos++
+		r, err := p.parseXor()
+		if err != nil {
+			return 0, err
+		}
+		s = p.x.Or(s, r)
+	}
+	return s, nil
+}
+
+func (p *exprParser) parseXor() (network.Signal, error) {
+	s, err := p.parseAnd()
+	if err != nil {
+		return 0, err
+	}
+	for p.peek() == "^" {
+		p.pos++
+		r, err := p.parseAnd()
+		if err != nil {
+			return 0, err
+		}
+		s = p.x.Xor(s, r)
+	}
+	return s, nil
+}
+
+func (p *exprParser) parseAnd() (network.Signal, error) {
+	s, err := p.parseUnary()
+	if err != nil {
+		return 0, err
+	}
+	for p.peek() == "&" {
+		p.pos++
+		r, err := p.parseUnary()
+		if err != nil {
+			return 0, err
+		}
+		s = p.x.And(s, r)
+	}
+	return s, nil
+}
+
+func (p *exprParser) parseUnary() (network.Signal, error) {
+	if p.peek() == "~" {
+		p.pos++
+		s, err := p.parseUnary()
+		return s.Not(), err
+	}
+	return p.parsePrimary()
+}
+
+func (p *exprParser) parsePrimary() (network.Signal, error) {
+	tok := p.peek()
+	switch {
+	case tok == "(":
+		p.pos++
+		s, err := p.parseOr()
+		if err != nil {
+			return 0, err
+		}
+		if p.peek() != ")" {
+			return 0, fmt.Errorf("verilog: missing closing parenthesis")
+		}
+		p.pos++
+		return s, nil
+	case tok == "1'b0":
+		p.pos++
+		return p.x.Const(false), nil
+	case tok == "1'b1":
+		p.pos++
+		return p.x.Const(true), nil
+	case tok == "":
+		return 0, fmt.Errorf("verilog: unexpected end of expression")
+	default:
+		if !isIdent(tok) {
+			return 0, fmt.Errorf("verilog: unexpected token %q", tok)
+		}
+		s, ok := p.env[tok]
+		if !ok {
+			return 0, errUnresolved(tok)
+		}
+		p.pos++
+		return s, nil
+	}
+}
+
+// tokenize splits a Verilog expression into tokens.
+func tokenize(s string) ([]string, error) {
+	var toks []string
+	for i := 0; i < len(s); {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '~' || c == '&' || c == '|' || c == '^' || c == '(' || c == ')':
+			toks = append(toks, string(c))
+			i++
+		case c == '1' && strings.HasPrefix(s[i:], "1'b"):
+			if i+3 >= len(s) || (s[i+3] != '0' && s[i+3] != '1') {
+				return nil, fmt.Errorf("verilog: bad constant at %q", s[i:])
+			}
+			toks = append(toks, s[i:i+4])
+			i += 4
+		case isIdentStart(rune(c)):
+			j := i + 1
+			for j < len(s) && isIdentChar(rune(s[j])) {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		default:
+			return nil, fmt.Errorf("verilog: unexpected character %q", c)
+		}
+	}
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isIdentChar(r rune) bool  { return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' }
+
+func isIdent(s string) bool {
+	if s == "" || !isIdentStart(rune(s[0])) {
+		return false
+	}
+	for _, r := range s[1:] {
+		if !isIdentChar(r) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,115 @@
+package npn
+
+import (
+	"sync"
+
+	"repro/internal/logic/tt"
+)
+
+// Database caches one optimal XAG structure per NPN class. It is safe for
+// concurrent use.
+type Database struct {
+	mu    sync.Mutex
+	synth *Synthesizer
+	byFn  map[dbKey]Structure // canon class -> structure
+	fails map[dbKey]bool      // classes synthesis gave up on
+}
+
+// dbKey identifies an NPN class: arity plus canonical truth-table word.
+type dbKey struct {
+	n    int
+	word uint64
+}
+
+// NewDatabase returns an empty database backed by the given synthesizer
+// (nil selects NewSynthesizer defaults).
+func NewDatabase(sy *Synthesizer) *Database {
+	if sy == nil {
+		sy = NewSynthesizer()
+	}
+	return &Database{
+		synth: sy,
+		byFn:  make(map[dbKey]Structure),
+		fails: make(map[dbKey]bool),
+	}
+}
+
+// Lookup returns an optimal structure for f (not its NPN canon — the
+// returned structure computes f itself, with the class transform already
+// applied), or ok=false if synthesis failed within budget.
+func (db *Database) Lookup(f tt.TT) (Structure, bool) {
+	canon, tr := Canonize(f)
+	key := dbKey{n: canon.NumVars(), word: canon.Word()}
+	db.mu.Lock()
+	st, have := db.byFn[key]
+	failed := db.fails[key]
+	db.mu.Unlock()
+	if failed {
+		return Structure{}, false
+	}
+	if !have {
+		var err error
+		st, err = db.synth.Synthesize(canon)
+		db.mu.Lock()
+		if err != nil {
+			db.fails[key] = true
+			db.mu.Unlock()
+			return Structure{}, false
+		}
+		db.byFn[key] = st
+		db.mu.Unlock()
+	}
+	return applyTransform(st, tr), true
+}
+
+// Size returns the number of cached classes.
+func (db *Database) Size() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.byFn)
+}
+
+// applyTransform rewrites a structure for the canon into a structure for
+// tr.Apply(canon): inputs are remapped through the permutation with
+// polarities pushed onto the fan-in edges, and the output polarity is
+// adjusted.
+func applyTransform(st Structure, tr Transform) Structure {
+	out := Structure{
+		NumInputs: st.NumInputs,
+		OutNeg:    st.OutNeg != tr.FlipOut,
+		OutVar:    st.OutVar,
+		Gates:     make([]Gate, len(st.Gates)),
+	}
+	n := st.NumInputs
+	// The transformed function g(x) = canon(sigma(x) xor flip) xor out,
+	// where canon's input v is read from g's input position... tr.Apply
+	// defines: new variable i reads old variable Perm[i] after flipping old
+	// variable v when FlipIn bit v is set. The structure's references to
+	// canon input v therefore become references to new input j with
+	// Perm[j] == v, complemented when FlipIn bit v is set.
+	invPos := make([]int, n)
+	for j, p := range tr.Perm {
+		invPos[p] = j
+	}
+	mapIn := func(ref int, neg bool) (int, bool) {
+		if ref >= n {
+			return ref, neg // gate reference: unchanged
+		}
+		flipped := tr.FlipIn>>ref&1 == 1
+		return invPos[ref], neg != flipped
+	}
+	for i, g := range st.Gates {
+		// XOR gates may acquire fan-in complements here; Eval and the XAG
+		// builder normalize them, so no special handling is needed.
+		ng := Gate{IsXor: g.IsXor}
+		ng.In0, ng.Neg0 = mapIn(g.In0, g.Neg0)
+		ng.In1, ng.Neg1 = mapIn(g.In1, g.Neg1)
+		out.Gates[i] = ng
+	}
+	// Output var mapping when it is an input reference.
+	if st.OutVar >= 0 && st.OutVar < n {
+		v, neg := mapIn(st.OutVar, out.OutNeg)
+		out.OutVar, out.OutNeg = v, neg
+	}
+	return out
+}

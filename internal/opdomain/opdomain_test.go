@@ -1,0 +1,114 @@
+package opdomain
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/gatelib"
+	"repro/internal/gates"
+	"repro/internal/hexgrid"
+	"repro/internal/sim"
+)
+
+func wireVariant(t *testing.T) *gatelib.Design {
+	t.Helper()
+	lib := gatelib.NewLibrary()
+	d, err := lib.Get(gates.Wire,
+		[]hexgrid.Direction{hexgrid.NorthWest},
+		[]hexgrid.Direction{hexgrid.SouthEast})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestAnalyzeWireContainsCalibrationPoint(t *testing.T) {
+	d := wireVariant(t)
+	sweep := Sweep{
+		MuMin: -0.32, MuMax: -0.32, MuSteps: 1,
+		EpsMin: 5.6, EpsMax: 5.6, EpsSteps: 1,
+		LambdaTF: 5,
+	}
+	dom := Analyze(d, func(i uint32) uint32 { return i }, sweep)
+	if len(dom.Points) != 1 {
+		t.Fatalf("points = %d", len(dom.Points))
+	}
+	if !dom.Points[0].Operational {
+		t.Error("the wire must operate at its calibration point")
+	}
+	if dom.OperationalFraction() != 1 {
+		t.Error("fraction must be 1 for a single operational point")
+	}
+}
+
+func TestAnalyzeGridShape(t *testing.T) {
+	d := wireVariant(t)
+	sweep := Sweep{
+		MuMin: -0.34, MuMax: -0.30, MuSteps: 3,
+		EpsMin: 5.4, EpsMax: 5.8, EpsSteps: 2,
+		LambdaTF: 5,
+	}
+	dom := Analyze(d, func(i uint32) uint32 { return i }, sweep)
+	if len(dom.Points) != 6 {
+		t.Fatalf("points = %d, want 6", len(dom.Points))
+	}
+	// Parameter values must span the requested ranges.
+	var mus []float64
+	for _, p := range dom.Points {
+		mus = append(mus, p.Params.MuMinus)
+	}
+	foundMin, foundMax := false, false
+	for _, m := range mus {
+		if m == -0.34 {
+			foundMin = true
+		}
+		if m == -0.30 {
+			foundMax = true
+		}
+	}
+	if !foundMin || !foundMax {
+		t.Error("sweep endpoints missing")
+	}
+}
+
+func TestDomainBoundaryExists(t *testing.T) {
+	// Far outside the calibration (mu near zero) the wire must fail: with
+	// mu = -0.05 eV isolated dots barely charge and pairs empty out.
+	d := wireVariant(t)
+	sweep := Sweep{
+		MuMin: -0.05, MuMax: -0.05, MuSteps: 1,
+		EpsMin: 5.6, EpsMax: 5.6, EpsSteps: 1,
+		LambdaTF: 5,
+	}
+	dom := Analyze(d, func(i uint32) uint32 { return i }, sweep)
+	if dom.Points[0].Operational {
+		t.Error("the wire should not operate at mu=-0.05 eV")
+	}
+}
+
+func TestRender(t *testing.T) {
+	d := wireVariant(t)
+	dom := Analyze(d, func(i uint32) uint32 { return i }, Sweep{
+		MuMin: -0.33, MuMax: -0.31, MuSteps: 2,
+		EpsMin: 5.5, EpsMax: 5.7, EpsSteps: 2,
+		LambdaTF: 5,
+	})
+	var buf bytes.Buffer
+	dom.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "operational domain") || !strings.Contains(out, "fraction") {
+		t.Errorf("render incomplete:\n%s", out)
+	}
+}
+
+func TestDefaultSweepCoversBothCalibrations(t *testing.T) {
+	s := DefaultSweep()
+	if s.MuMin > -0.32 || s.MuMax < -0.28 {
+		t.Error("default sweep must cover both paper calibrations")
+	}
+	if s.LambdaTF != 5 {
+		t.Error("lambda_TF fixed at 5 nm per the paper")
+	}
+	_ = sim.ParamsFig5
+}

@@ -1,0 +1,615 @@
+package pnr
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/clocking"
+	"repro/internal/gatelayout"
+	"repro/internal/gates"
+	"repro/internal/hexgrid"
+	"repro/internal/sat"
+)
+
+// ExactOptions tunes the SAT-based exact physical design engine.
+type ExactOptions struct {
+	// MaxArea bounds the explored grid areas (w*h tiles); 0 uses a default
+	// derived from the network size.
+	MaxArea int
+	// MaxWidth/MaxHeight bound the aspect ratios; 0 means unbounded (up to
+	// MaxArea).
+	MaxWidth, MaxHeight int
+	// ConflictBudget bounds each SAT call; 0 uses a default. When a call is
+	// cut off the size is skipped, so the result may lose minimality but
+	// stays correct.
+	ConflictBudget int64
+}
+
+// withDefaults fills unset fields.
+func (o ExactOptions) withDefaults(g *RGraph) ExactOptions {
+	if o.MaxArea == 0 {
+		n := len(g.Nodes) * 4
+		if n < 24 {
+			n = 24
+		}
+		o.MaxArea = n
+	}
+	if o.ConflictBudget == 0 {
+		o.ConflictBudget = 300000
+	}
+	return o
+}
+
+// Exact places and routes the graph with minimal tile area by enumerating
+// grid dimensions in order of increasing area and solving each with a SAT
+// encoding of the row-based hexagonal fabric — the paper's flow step (4)
+// following the exact method of [46], adjusted to hexagonal layouts and
+// the Bestagon library.
+func Exact(g *RGraph, opts ExactOptions) (*gatelayout.Layout, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	o := opts.withDefaults(g)
+
+	// Lower bounds: every PI sits in row 0, every PO in the last row, and
+	// each edge advances exactly one row, so the height is the longest
+	// node path and the width at least max(#PI, #PO).
+	lv := g.Levels()
+	minH := 0
+	for _, po := range g.POs {
+		if lv[po]+1 > minH {
+			minH = lv[po] + 1
+		}
+	}
+	minW := len(g.PIs)
+	if len(g.POs) > minW {
+		minW = len(g.POs)
+	}
+	if minW == 0 || minH == 0 {
+		return nil, fmt.Errorf("pnr: degenerate graph")
+	}
+
+	type dims struct{ w, h int }
+	var cands []dims
+	maxW, maxH := o.MaxWidth, o.MaxHeight
+	if maxW == 0 {
+		maxW = o.MaxArea
+	}
+	if maxH == 0 {
+		maxH = o.MaxArea
+	}
+	for w := minW; w <= maxW; w++ {
+		for h := minH; h <= maxH; h++ {
+			if w*h <= o.MaxArea {
+				cands = append(cands, dims{w, h})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].w*cands[i].h != cands[j].w*cands[j].h {
+			return cands[i].w*cands[i].h < cands[j].w*cands[j].h
+		}
+		return cands[i].h < cands[j].h
+	})
+	for _, d := range cands {
+		l, status := solveSize(g, d.w, d.h, o)
+		if status == sat.Sat {
+			return l, nil
+		}
+	}
+	return nil, fmt.Errorf("pnr: no exact layout within area %d for %s", o.MaxArea, g.Name)
+}
+
+// exactEncoder carries the SAT encoding state for one grid size.
+type exactEncoder struct {
+	g       *RGraph
+	w, h    int
+	s       *sat.Solver
+	asap    []int
+	alap    []int
+	x       map[[2]int]sat.Lit // (nodeID, tileIdx) -> placement var
+	we      map[[2]int]sat.Lit // (edgeID, tileIdx) -> wire var
+	outSW   map[[2]int]sat.Lit
+	arrNW   map[[2]int]sat.Lit
+	arrNE   map[[2]int]sat.Lit
+	emit    map[[2]int]sat.Lit
+	nodeAt  []sat.Lit // tileIdx -> "tile hosts a node"
+	swapVar map[int]sat.Lit
+	lFalse  sat.Lit
+}
+
+// tileIdx flattens offset coordinates.
+func (e *exactEncoder) tileIdx(at hexgrid.Offset) int { return at.Y*e.w + at.X }
+
+// tileAt reverses tileIdx.
+func (e *exactEncoder) tileAt(idx int) hexgrid.Offset {
+	return hexgrid.Offset{X: idx % e.w, Y: idx / e.w}
+}
+
+// inGrid reports whether the coordinate is on the grid.
+func (e *exactEncoder) inGrid(at hexgrid.Offset) bool {
+	return at.X >= 0 && at.X < e.w && at.Y >= 0 && at.Y < e.h
+}
+
+// nodeRows returns the allowed row window of a node.
+func (e *exactEncoder) nodeRows(n int) (int, int) {
+	nd := e.g.Nodes[n]
+	switch nd.Func {
+	case gates.PI:
+		return 0, 0
+	case gates.PO:
+		return e.h - 1, e.h - 1
+	default:
+		lo, hi := e.asap[n], e.alap[n]
+		if lo < 1 {
+			lo = 1
+		}
+		if hi > e.h-2 {
+			hi = e.h - 2
+		}
+		return lo, hi
+	}
+}
+
+// edgeRows returns the wire row window of an edge.
+func (e *exactEncoder) edgeRows(eid int) (int, int) {
+	ed := e.g.Edges[eid]
+	return e.asap[ed.Src] + 1, e.alap[ed.Dst] - 1
+}
+
+// solveSize attempts one grid size.
+func solveSize(g *RGraph, w, h int, o ExactOptions) (*gatelayout.Layout, sat.Status) {
+	// ASAP levels and ALAP levels for this height.
+	asap := g.Levels()
+	alap := make([]int, len(g.Nodes))
+	for i := range alap {
+		alap[i] = h - 1
+	}
+	// Iterate ALAP to fixpoint (reverse edges).
+	for changed := true; changed; {
+		changed = false
+		for _, ed := range g.Edges {
+			if alap[ed.Dst]-1 < alap[ed.Src] {
+				alap[ed.Src] = alap[ed.Dst] - 1
+				changed = true
+			}
+		}
+	}
+	for n := range g.Nodes {
+		if asap[n] > alap[n] {
+			return nil, sat.Unsat
+		}
+	}
+
+	enc := &exactEncoder{
+		g: g, w: w, h: h, s: sat.New(),
+		asap: asap, alap: alap,
+		x:     map[[2]int]sat.Lit{},
+		we:    map[[2]int]sat.Lit{},
+		outSW: map[[2]int]sat.Lit{}, arrNW: map[[2]int]sat.Lit{},
+		arrNE: map[[2]int]sat.Lit{}, emit: map[[2]int]sat.Lit{},
+		swapVar: map[int]sat.Lit{},
+	}
+	enc.s.MaxConflicts = o.ConflictBudget
+	enc.lFalse = enc.s.NewVar()
+	enc.s.AddClause(enc.lFalse.Neg())
+	enc.build()
+	status := enc.s.Solve()
+	if status != sat.Sat {
+		return nil, status
+	}
+	l, err := enc.decode()
+	if err != nil {
+		// An encoding bug would surface here; treat as failure.
+		return nil, sat.Unknown
+	}
+	return l, sat.Sat
+}
+
+// litOrFalse returns the mapped literal or constant false.
+func litOrFalse(m map[[2]int]sat.Lit, key [2]int, f sat.Lit) sat.Lit {
+	if l, ok := m[key]; ok {
+		return l
+	}
+	return f
+}
+
+// build emits the whole encoding.
+func (e *exactEncoder) build() {
+	g, s := e.g, e.s
+
+	// Placement variables within row windows.
+	for n := range g.Nodes {
+		lo, hi := e.nodeRows(n)
+		var all []sat.Lit
+		for y := lo; y <= hi; y++ {
+			for xx := 0; xx < e.w; xx++ {
+				t := e.tileIdx(hexgrid.Offset{X: xx, Y: y})
+				v := s.NewVar()
+				e.x[[2]int{n, t}] = v
+				all = append(all, v)
+			}
+		}
+		s.AddClause(all...) // at least one
+		for i := 0; i < len(all); i++ {
+			for j := i + 1; j < len(all); j++ {
+				s.AddClause(all[i].Neg(), all[j].Neg())
+			}
+		}
+	}
+
+	// Wire variables within edge windows.
+	for eid := range g.Edges {
+		lo, hi := e.edgeRows(eid)
+		for y := lo; y <= hi; y++ {
+			if y < 1 || y > e.h-2 {
+				continue
+			}
+			for xx := 0; xx < e.w; xx++ {
+				t := e.tileIdx(hexgrid.Offset{X: xx, Y: y})
+				e.we[[2]int{eid, t}] = s.NewVar()
+			}
+		}
+	}
+
+	// emit / outSW / arrNW / arrNE variables where meaningful.
+	for eid, ed := range g.Edges {
+		// Emission sites: wire tiles of e plus placement tiles of src.
+		addEmit := func(t int) {
+			key := [2]int{eid, t}
+			if _, ok := e.emit[key]; ok {
+				return
+			}
+			e.emit[key] = s.NewVar()
+			e.outSW[key] = s.NewVar()
+		}
+		for key := range e.we {
+			if key[0] == eid {
+				addEmit(key[1])
+			}
+		}
+		lo, hi := e.nodeRows(ed.Src)
+		for y := lo; y <= hi; y++ {
+			for xx := 0; xx < e.w; xx++ {
+				addEmit(e.tileIdx(hexgrid.Offset{X: xx, Y: y}))
+			}
+		}
+		// Arrival sites: wire tiles plus placement tiles of dst.
+		addArr := func(t int) {
+			key := [2]int{eid, t}
+			if _, ok := e.arrNW[key]; ok {
+				return
+			}
+			e.arrNW[key] = s.NewVar()
+			e.arrNE[key] = s.NewVar()
+		}
+		for key := range e.we {
+			if key[0] == eid {
+				addArr(key[1])
+			}
+		}
+		lo, hi = e.nodeRows(ed.Dst)
+		for y := lo; y <= hi; y++ {
+			for xx := 0; xx < e.w; xx++ {
+				addArr(e.tileIdx(hexgrid.Offset{X: xx, Y: y}))
+			}
+		}
+	}
+
+	// emit semantics: emit[e,t] -> we[e,t] | x[src,t]; we -> emit; x -> emit.
+	for key, em := range e.emit {
+		eid, t := key[0], key[1]
+		ed := g.Edges[eid]
+		weL := litOrFalse(e.we, key, e.lFalse)
+		xL := litOrFalse(e.x, [2]int{ed.Src, t}, e.lFalse)
+		s.AddClause(em.Neg(), weL, xL)
+		if weL != e.lFalse {
+			s.AddClause(weL.Neg(), em)
+		}
+		if xL != e.lFalse {
+			s.AddClause(xL.Neg(), em)
+		}
+		// Fixed out sides for two-output sources: port 0 -> SW, port 1 -> SE.
+		if g.Nodes[ed.Src].Func.NumOuts() == 2 && xL != e.lFalse {
+			if ed.SrcPort == 0 {
+				s.AddClause(xL.Neg(), e.outSW[key])
+			} else {
+				s.AddClause(xL.Neg(), e.outSW[key].Neg())
+			}
+		}
+	}
+
+	// Arrival semantics: arrNW[e,t] -> parentNW emits e via SE;
+	// arrNE[e,t] -> parentNE emits e via SW.
+	for key, aNW := range e.arrNW {
+		eid, t := key[0], key[1]
+		at := e.tileAt(t)
+		aNE := e.arrNE[key]
+		pNW := at.Neighbor(hexgrid.NorthWest)
+		pNE := at.Neighbor(hexgrid.NorthEast)
+		if !e.inGrid(pNW) {
+			s.AddClause(aNW.Neg())
+		} else {
+			pKey := [2]int{eid, e.tileIdx(pNW)}
+			em := litOrFalse(e.emit, pKey, e.lFalse)
+			s.AddClause(aNW.Neg(), em)
+			if em != e.lFalse {
+				s.AddClause(aNW.Neg(), e.outSW[pKey].Neg()) // SE emission
+			}
+		}
+		if !e.inGrid(pNE) {
+			s.AddClause(aNE.Neg())
+		} else {
+			pKey := [2]int{eid, e.tileIdx(pNE)}
+			em := litOrFalse(e.emit, pKey, e.lFalse)
+			s.AddClause(aNE.Neg(), em)
+			if em != e.lFalse {
+				s.AddClause(aNE.Neg(), e.outSW[pKey]) // SW emission
+			}
+		}
+	}
+
+	// Wire continuation.
+	for key, weL := range e.we {
+		s.AddClause(weL.Neg(), e.arrNW[key], e.arrNE[key])
+	}
+
+	// Forward consumption: every emission must be absorbed by the tile it
+	// points at (as a wire or as the destination node), otherwise the
+	// layout would contain dangling output ports.
+	for key, em := range e.emit {
+		eid, t := key[0], key[1]
+		ed := g.Edges[eid]
+		at := e.tileAt(t)
+		cSW := at.Neighbor(hexgrid.SouthWest)
+		cSE := at.Neighbor(hexgrid.SouthEast)
+		consume := func(child hexgrid.Offset) sat.Lit {
+			if !e.inGrid(child) {
+				return e.lFalse
+			}
+			ct := e.tileIdx(child)
+			weL := litOrFalse(e.we, [2]int{eid, ct}, e.lFalse)
+			xL := litOrFalse(e.x, [2]int{ed.Dst, ct}, e.lFalse)
+			if weL == e.lFalse && xL == e.lFalse {
+				return e.lFalse
+			}
+			// Aux literal: child consumes e.
+			aux := s.NewVar()
+			s.AddClause(aux.Neg(), weL, xL)
+			return aux
+		}
+		swC := consume(cSW)
+		seC := consume(cSE)
+		// emit & outSW -> swC ; emit & !outSW -> seC.
+		s.AddClause(em.Neg(), e.outSW[key].Neg(), swC)
+		s.AddClause(em.Neg(), e.outSW[key], seC)
+	}
+
+	// Consumer arrival with port-side assignment.
+	for n, nd := range g.Nodes {
+		if nd.Func.NumIns() == 0 {
+			continue
+		}
+		lo, hi := e.nodeRows(n)
+		var sw sat.Lit
+		if nd.Func.NumIns() == 2 {
+			sw = s.NewVar()
+			e.swapVar[n] = sw
+		}
+		for y := lo; y <= hi; y++ {
+			for xx := 0; xx < e.w; xx++ {
+				t := e.tileIdx(hexgrid.Offset{X: xx, Y: y})
+				xL := e.x[[2]int{n, t}]
+				if nd.Func.NumIns() == 1 {
+					eid := nd.In[0]
+					s.AddClause(xL.Neg(), e.arrNW[[2]int{eid, t}], e.arrNE[[2]int{eid, t}])
+					continue
+				}
+				e0, e1 := nd.In[0], nd.In[1]
+				// !sw: e0 via NW, e1 via NE; sw: e0 via NE, e1 via NW.
+				s.AddClause(xL.Neg(), sw, e.arrNW[[2]int{e0, t}])
+				s.AddClause(xL.Neg(), sw, e.arrNE[[2]int{e1, t}])
+				s.AddClause(xL.Neg(), sw.Neg(), e.arrNE[[2]int{e0, t}])
+				s.AddClause(xL.Neg(), sw.Neg(), e.arrNW[[2]int{e1, t}])
+			}
+		}
+	}
+
+	// Tile capacity.
+	nTiles := e.w * e.h
+	e.nodeAt = make([]sat.Lit, nTiles)
+	for t := 0; t < nTiles; t++ {
+		e.nodeAt[t] = s.NewVar()
+	}
+	// Node placements exclude each other and imply nodeAt.
+	byTile := map[int][]sat.Lit{}
+	for key, xL := range e.x {
+		byTile[key[1]] = append(byTile[key[1]], xL)
+		s.AddClause(xL.Neg(), e.nodeAt[key[1]])
+	}
+	for t, lits := range byTile {
+		_ = t
+		for i := 0; i < len(lits); i++ {
+			for j := i + 1; j < len(lits); j++ {
+				s.AddClause(lits[i].Neg(), lits[j].Neg())
+			}
+		}
+	}
+	// Wires exclude nodes; at most two wires per tile (sequential counter).
+	wByTile := map[int][]int{}
+	for key := range e.we {
+		wByTile[key[1]] = append(wByTile[key[1]], key[0])
+	}
+	for t, eids := range wByTile {
+		sort.Ints(eids)
+		var lits []sat.Lit
+		for _, eid := range eids {
+			weL := e.we[[2]int{eid, t}]
+			s.AddClause(weL.Neg(), e.nodeAt[t].Neg())
+			lits = append(lits, weL)
+		}
+		atMostTwo(s, lits)
+		// Crossing consistency for co-located wire pairs.
+		for i := 0; i < len(eids); i++ {
+			for j := i + 1; j < len(eids); j++ {
+				k1 := [2]int{eids[i], t}
+				k2 := [2]int{eids[j], t}
+				w1, w2 := e.we[k1], e.we[k2]
+				// Input sides must differ.
+				s.AddClause(w1.Neg(), w2.Neg(), e.arrNW[k1].Neg(), e.arrNW[k2].Neg())
+				s.AddClause(w1.Neg(), w2.Neg(), e.arrNE[k1].Neg(), e.arrNE[k2].Neg())
+				// Straight crossing: NW in -> SE out; NE in -> SW out.
+				for _, k := range [][2]int{k1, k2} {
+					other := w2
+					if k == k2 {
+						other = w1
+					}
+					self := e.we[k]
+					s.AddClause(self.Neg(), other.Neg(), e.arrNW[k].Neg(), e.outSW[k].Neg())
+					s.AddClause(self.Neg(), other.Neg(), e.arrNE[k].Neg(), e.outSW[k])
+				}
+			}
+		}
+	}
+
+	// PI and PO ordering along their rows (for positional EC).
+	orderRow := func(ids []int, row int) {
+		for a := 0; a < len(ids); a++ {
+			for b := a + 1; b < len(ids); b++ {
+				// id[a] must be strictly left of id[b].
+				for xa := 0; xa < e.w; xa++ {
+					for xb := 0; xb <= xa; xb++ {
+						la := e.x[[2]int{ids[a], e.tileIdx(hexgrid.Offset{X: xa, Y: row})}]
+						lb := e.x[[2]int{ids[b], e.tileIdx(hexgrid.Offset{X: xb, Y: row})}]
+						s.AddClause(la.Neg(), lb.Neg())
+					}
+				}
+			}
+		}
+	}
+	orderRow(g.PIs, 0)
+	orderRow(g.POs, e.h-1)
+}
+
+// atMostTwo emits a sequential-counter encoding of sum(lits) <= 2.
+func atMostTwo(s *sat.Solver, lits []sat.Lit) {
+	n := len(lits)
+	if n <= 2 {
+		return
+	}
+	// s1[i]: at least one of lits[0..i]; s2[i]: at least two.
+	s1 := make([]sat.Lit, n)
+	s2 := make([]sat.Lit, n)
+	for i := 0; i < n; i++ {
+		s1[i] = s.NewVar()
+		s2[i] = s.NewVar()
+	}
+	s.AddClause(lits[0].Neg(), s1[0])
+	s.AddClause(s2[0].Neg())
+	for i := 1; i < n; i++ {
+		s.AddClause(s1[i-1].Neg(), s1[i])
+		s.AddClause(lits[i].Neg(), s1[i])
+		s.AddClause(s2[i-1].Neg(), s2[i])
+		s.AddClause(lits[i].Neg(), s1[i-1].Neg(), s2[i])
+		// Forbid a third: lits[i] with s2[i-1] already true.
+		s.AddClause(lits[i].Neg(), s2[i-1].Neg())
+	}
+}
+
+// decode reads the model into a layout.
+func (e *exactEncoder) decode() (*gatelayout.Layout, error) {
+	g, s := e.g, e.s
+	l := gatelayout.New(g.Name, e.w, e.h, clocking.RowBased{})
+
+	type tileInfo struct {
+		node  int
+		wires []int
+	}
+	tiles := map[int]*tileInfo{}
+	info := func(t int) *tileInfo {
+		ti, ok := tiles[t]
+		if !ok {
+			ti = &tileInfo{node: -1}
+			tiles[t] = ti
+		}
+		return ti
+	}
+	for key, xL := range e.x {
+		if s.Value(xL) {
+			ti := info(key[1])
+			if ti.node != -1 {
+				return nil, fmt.Errorf("two nodes on one tile")
+			}
+			ti.node = key[0]
+		}
+	}
+	for key, weL := range e.we {
+		if s.Value(weL) {
+			info(key[1]).wires = append(info(key[1]).wires, key[0])
+		}
+	}
+
+	inDirOf := func(eid, t int) hexgrid.Direction {
+		if s.Value(e.arrNW[[2]int{eid, t}]) {
+			return hexgrid.NorthWest
+		}
+		return hexgrid.NorthEast
+	}
+	outDirOf := func(eid, t int) hexgrid.Direction {
+		if s.Value(e.outSW[[2]int{eid, t}]) {
+			return hexgrid.SouthWest
+		}
+		return hexgrid.SouthEast
+	}
+
+	for t, ti := range tiles {
+		at := e.tileAt(t)
+		switch {
+		case ti.node >= 0:
+			nd := g.Nodes[ti.node]
+			tile := gatelayout.Tile{Func: nd.Func, Name: nd.Name}
+			switch nd.Func.NumIns() {
+			case 1:
+				tile.Ins = []hexgrid.Direction{inDirOf(nd.In[0], t)}
+			case 2:
+				tile.Ins = []hexgrid.Direction{hexgrid.NorthWest, hexgrid.NorthEast}
+			}
+			switch nd.Func.NumOuts() {
+			case 1:
+				tile.Outs = []hexgrid.Direction{outDirOf(nd.Out[0], t)}
+			case 2:
+				tile.Outs = []hexgrid.Direction{hexgrid.SouthWest, hexgrid.SouthEast}
+			}
+			if err := l.Set(at, tile); err != nil {
+				return nil, err
+			}
+		case len(ti.wires) == 1:
+			eid := ti.wires[0]
+			in := inDirOf(eid, t)
+			out := outDirOf(eid, t)
+			fn := gates.Wire
+			if (in == hexgrid.NorthWest && out == hexgrid.SouthWest) ||
+				(in == hexgrid.NorthEast && out == hexgrid.SouthEast) {
+				fn = gates.DiagWire
+			}
+			if err := l.Set(at, gatelayout.Tile{
+				Func: fn,
+				Ins:  []hexgrid.Direction{in},
+				Outs: []hexgrid.Direction{out},
+			}); err != nil {
+				return nil, err
+			}
+		case len(ti.wires) == 2:
+			if err := l.Set(at, gatelayout.Tile{
+				Func: gates.Crossing,
+				Ins:  []hexgrid.Direction{hexgrid.NorthWest, hexgrid.NorthEast},
+				Outs: []hexgrid.Direction{hexgrid.SouthWest, hexgrid.SouthEast},
+			}); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("tile with %d wires", len(ti.wires))
+		}
+	}
+	return l, nil
+}

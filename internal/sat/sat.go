@@ -1,0 +1,708 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT
+// solver with two-watched-literal propagation, first-UIP learning, VSIDS
+// branching, phase saving, and Luby restarts.
+//
+// The solver substitutes the Z3 SMT backend of the original Bestagon flow
+// (see DESIGN.md §4): the exact physical design of flow step (4), the
+// SAT-based equivalence check of step (5), and the exact-synthesis NPN
+// database of step (2) all reduce to plain Boolean satisfiability.
+package sat
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Lit is a literal: variable index (1-based) with sign. Positive values are
+// positive literals, negative values negated ones. 0 is invalid.
+type Lit int
+
+// Neg returns the negated literal.
+func (l Lit) Neg() Lit { return -l }
+
+// Var returns the 1-based variable index of the literal.
+func (l Lit) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Sign reports whether the literal is positive.
+func (l Lit) Sign() bool { return l > 0 }
+
+// String formats the literal as "x3" or "!x3".
+func (l Lit) String() string {
+	if l < 0 {
+		return fmt.Sprintf("!x%d", -l)
+	}
+	return fmt.Sprintf("x%d", l)
+}
+
+// Status is the result of a Solve call.
+type Status int
+
+// Solver outcomes.
+const (
+	Unknown Status = iota
+	Sat
+	Unsat
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// lbool is a three-valued boolean used for assignments.
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+// clause is a disjunction of literals; learnt marks conflict clauses.
+type clause struct {
+	lits     []Lit
+	learnt   bool
+	deleted  bool
+	activity float64
+}
+
+// watcher records a clause watching a literal plus the blocking literal
+// optimization.
+type watcher struct {
+	clauseIdx int
+	blocker   Lit
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; construct with
+// New.
+type Solver struct {
+	numVars  int
+	clauses  []*clause
+	watches  [][]watcher // indexed by watchIdx(lit)
+	assign   []lbool     // indexed by variable (1-based; index 0 unused)
+	level    []int
+	reason   []int // clause index that implied the variable, or -1
+	trail    []Lit
+	trailLim []int
+	qhead    int
+
+	activity  []float64
+	varInc    float64
+	order     *varHeap
+	phase     []bool  // saved phases
+	seen      []bool  // scratch for conflict analysis
+	model     []lbool // snapshot of the last satisfying assignment
+	ok        bool    // false once a top-level conflict is found
+	claInc    float64 // clause activity increment
+	numLearnt int
+	maxLearnt int
+	conflicts int64
+	decisions int64
+	propsDone int64
+
+	// MaxConflicts bounds the search effort; 0 means unlimited. When the
+	// bound is hit, Solve returns Unknown.
+	MaxConflicts int64
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	s := &Solver{
+		watches:   make([][]watcher, 2),
+		varInc:    1.0,
+		claInc:    1.0,
+		maxLearnt: 3000,
+		ok:        true,
+	}
+	s.order = &varHeap{solver: s}
+	// Variable index 0 is unused.
+	s.assign = append(s.assign, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, -1)
+	s.activity = append(s.activity, 0)
+	s.phase = append(s.phase, false)
+	s.seen = append(s.seen, false)
+	return s
+}
+
+// watchIdx maps a literal to its watch-list slot.
+func watchIdx(l Lit) int {
+	if l > 0 {
+		return 2 * int(l)
+	}
+	return 2*int(-l) + 1
+}
+
+// NewVar allocates a fresh variable and returns its positive literal.
+func (s *Solver) NewVar() Lit {
+	s.numVars++
+	s.assign = append(s.assign, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, -1)
+	s.activity = append(s.activity, 0)
+	s.phase = append(s.phase, false)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.order.push(s.numVars)
+	return Lit(s.numVars)
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return s.numVars }
+
+// NumClauses returns the number of problem clauses added.
+func (s *Solver) NumClauses() int {
+	n := 0
+	for _, c := range s.clauses {
+		if !c.learnt {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats reports search statistics.
+func (s *Solver) Stats() (conflicts, decisions, propagations int64) {
+	return s.conflicts, s.decisions, s.propsDone
+}
+
+// value returns the current assignment of a literal.
+func (s *Solver) value(l Lit) lbool {
+	v := s.assign[l.Var()]
+	if v == lUndef {
+		return lUndef
+	}
+	if l.Sign() == (v == lTrue) {
+		return lTrue
+	}
+	return lFalse
+}
+
+// AddClause adds a clause; returns false if the formula became trivially
+// unsatisfiable. Literals must reference variables from NewVar.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	if s.decisionLevel() != 0 {
+		panic("sat: AddClause called during search")
+	}
+	// Normalize: sort, dedupe, detect tautology, drop false literals.
+	ls := append([]Lit(nil), lits...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	out := ls[:0]
+	var prev Lit
+	for _, l := range ls {
+		if l.Var() > s.numVars || l == 0 {
+			panic(fmt.Sprintf("sat: clause references unknown literal %d", l))
+		}
+		if l == prev {
+			continue
+		}
+		if l == prev.Neg() && prev != 0 {
+			return true // tautology
+		}
+		switch s.value(l) {
+		case lTrue:
+			return true // already satisfied at level 0
+		case lFalse:
+			continue // drop
+		}
+		out = append(out, l)
+		prev = l
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		if !s.enqueue(out[0], -1) {
+			s.ok = false
+			return false
+		}
+		if s.propagate() != -1 {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	s.attach(&clause{lits: append([]Lit(nil), out...)})
+	return true
+}
+
+// attach registers the clause with the watch lists.
+func (s *Solver) attach(c *clause) {
+	idx := len(s.clauses)
+	s.clauses = append(s.clauses, c)
+	w0, w1 := watchIdx(c.lits[0].Neg()), watchIdx(c.lits[1].Neg())
+	s.watches[w0] = append(s.watches[w0], watcher{idx, c.lits[1]})
+	s.watches[w1] = append(s.watches[w1], watcher{idx, c.lits[0]})
+}
+
+// decisionLevel returns the current decision level.
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// enqueue assigns a literal true with the given reason clause (or -1).
+func (s *Solver) enqueue(l Lit, reason int) bool {
+	switch s.value(l) {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	v := l.Var()
+	if l.Sign() {
+		s.assign[v] = lTrue
+	} else {
+		s.assign[v] = lFalse
+	}
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = reason
+	s.phase[v] = l.Sign()
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// propagate performs unit propagation; returns the index of a conflicting
+// clause or -1.
+func (s *Solver) propagate() int {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.propsDone++
+		wi := watchIdx(p)
+		ws := s.watches[wi]
+		kept := ws[:0]
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if s.value(w.blocker) == lTrue {
+				kept = append(kept, w)
+				continue
+			}
+			c := s.clauses[w.clauseIdx]
+			if c.deleted {
+				continue // drop watcher of a deleted clause
+			}
+			// Ensure the false literal is lits[1].
+			if c.lits[0] == p.Neg() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			if s.value(c.lits[0]) == lTrue {
+				kept = append(kept, watcher{w.clauseIdx, c.lits[0]})
+				continue
+			}
+			// Look for a new watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					nw := watchIdx(c.lits[1].Neg())
+					s.watches[nw] = append(s.watches[nw], watcher{w.clauseIdx, c.lits[0]})
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, w)
+			if s.value(c.lits[0]) == lFalse {
+				// Conflict: restore remaining watchers and report.
+				kept = append(kept, ws[i+1:]...)
+				s.watches[wi] = kept
+				s.qhead = len(s.trail)
+				return w.clauseIdx
+			}
+			s.enqueue(c.lits[0], w.clauseIdx)
+		}
+		s.watches[wi] = kept
+	}
+	return -1
+}
+
+// bumpClause increases a learnt clause's activity.
+func (s *Solver) bumpClause(c *clause) {
+	c.activity += s.claInc
+	if c.activity > 1e100 {
+		for _, cl := range s.clauses {
+			if cl.learnt {
+				cl.activity *= 1e-100
+			}
+		}
+		s.claInc *= 1e-100
+	}
+}
+
+// reduceDB deletes the lower-activity half of the learnt clauses, keeping
+// binary clauses and clauses currently acting as reasons.
+func (s *Solver) reduceDB() {
+	locked := make(map[int]bool)
+	for _, l := range s.trail {
+		if r := s.reason[l.Var()]; r >= 0 {
+			locked[r] = true
+		}
+	}
+	var cands []int
+	for i, c := range s.clauses {
+		if c.learnt && !c.deleted && len(c.lits) > 2 && !locked[i] {
+			cands = append(cands, i)
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		return s.clauses[cands[a]].activity < s.clauses[cands[b]].activity
+	})
+	for _, i := range cands[:len(cands)/2] {
+		s.clauses[i].deleted = true
+		s.numLearnt--
+	}
+}
+
+// bumpVar increases a variable's VSIDS activity.
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := 1; i <= s.numVars; i++ {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v)
+}
+
+// analyze performs first-UIP conflict analysis, returning the learnt clause
+// (asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl int) ([]Lit, int) {
+	learnt := []Lit{0} // slot 0 reserved for the asserting literal
+	seen := s.seen
+	counter := 0
+	var p Lit
+	idx := len(s.trail) - 1
+
+	c := s.clauses[confl]
+	var toClear []int
+	for {
+		if c.learnt {
+			s.bumpClause(c)
+		}
+		for _, q := range c.lits {
+			if q == p {
+				continue
+			}
+			v := q.Var()
+			if seen[v] || s.level[v] == 0 {
+				continue
+			}
+			seen[v] = true
+			toClear = append(toClear, v)
+			s.bumpVar(v)
+			if s.level[v] >= s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Find next literal on the trail to resolve on.
+		for !seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		seen[p.Var()] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		c = s.clauses[s.reason[p.Var()]]
+	}
+	learnt[0] = p.Neg()
+	for _, v := range toClear {
+		seen[v] = false
+	}
+
+	// Compute backtrack level: second-highest level in the clause.
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = s.level[learnt[1].Var()]
+	}
+	return learnt, btLevel
+}
+
+// cancelUntil backtracks to the given decision level.
+func (s *Solver) cancelUntil(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	bound := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		s.assign[v] = lUndef
+		s.reason[v] = -1
+		s.order.pushIfAbsent(v)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+// luby computes the Luby restart sequence (1,1,2,1,1,2,4,...).
+func luby(i int64) int64 {
+	// Find the finite subsequence that contains index i and its size.
+	var size, seq int64 = 1, 0
+	for size < i+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != i {
+		size = (size - 1) / 2
+		seq--
+		i %= size
+	}
+	return 1 << uint(seq)
+}
+
+// Solve searches for a satisfying assignment of all added clauses, under
+// the given assumptions (literals forced true for this call only).
+func (s *Solver) Solve(assumptions ...Lit) Status {
+	if !s.ok {
+		return Unsat
+	}
+	defer s.cancelUntil(0)
+
+	var restarts int64
+	confBudget := int64(100) * luby(restarts)
+	confsAtRestart := int64(0)
+
+	for {
+		if confl := s.propagate(); confl != -1 {
+			// Conflict.
+			s.conflicts++
+			confsAtRestart++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat
+			}
+			// Conflict below the assumption levels means assumptions failed.
+			learnt, btLevel := s.analyze(confl)
+			if btLevel < len(assumptions) {
+				btLevel = s.assumptionSafeLevel(learnt, btLevel, len(assumptions))
+				if btLevel < 0 {
+					return Unsat
+				}
+			}
+			s.cancelUntil(btLevel)
+			if len(learnt) == 1 {
+				if s.decisionLevel() != 0 {
+					// Can't add a unit except at level 0; force restart.
+					s.cancelUntil(0)
+				}
+				if !s.enqueue(learnt[0], -1) {
+					s.ok = false
+					return Unsat
+				}
+			} else {
+				c := &clause{lits: learnt, learnt: true, activity: s.claInc}
+				s.attach(c)
+				s.numLearnt++
+				s.enqueue(learnt[0], len(s.clauses)-1)
+			}
+			s.varInc /= 0.95
+			s.claInc /= 0.999
+			if s.MaxConflicts > 0 && s.conflicts >= s.MaxConflicts {
+				return Unknown
+			}
+			if confsAtRestart >= confBudget {
+				restarts++
+				confBudget = 100 * luby(restarts)
+				confsAtRestart = 0
+				s.cancelUntil(0)
+				if s.numLearnt > s.maxLearnt {
+					s.reduceDB()
+					s.maxLearnt += s.maxLearnt / 10
+				}
+			}
+			continue
+		}
+
+		// No conflict: apply pending assumptions as decisions.
+		if s.decisionLevel() < len(assumptions) {
+			a := assumptions[s.decisionLevel()]
+			switch s.value(a) {
+			case lTrue:
+				// Already satisfied: open an empty decision level to keep
+				// level bookkeeping aligned with assumption count.
+				s.trailLim = append(s.trailLim, len(s.trail))
+			case lFalse:
+				return Unsat
+			default:
+				s.trailLim = append(s.trailLim, len(s.trail))
+				s.enqueue(a, -1)
+			}
+			continue
+		}
+
+		// Pick the next decision variable.
+		v := s.pickBranchVar()
+		if v == 0 {
+			s.model = append(s.model[:0], s.assign...)
+			return Sat
+		}
+		s.decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		l := Lit(v)
+		if !s.phase[v] {
+			l = l.Neg()
+		}
+		s.enqueue(l, -1)
+	}
+}
+
+// assumptionSafeLevel adjusts the backtrack level when learning under
+// assumptions; returns -1 if the assumptions themselves are refuted.
+func (s *Solver) assumptionSafeLevel(learnt []Lit, btLevel, numAssumptions int) int {
+	// If the asserting literal negates an assumption, the instance is UNSAT
+	// under these assumptions once we cannot backtrack past them.
+	if btLevel < numAssumptions {
+		// Permit backtracking into assumption levels: the asserting literal
+		// will be enqueued there, possibly contradicting a later assumption,
+		// which Solve detects when re-applying it.
+		if btLevel < 0 {
+			return -1
+		}
+	}
+	return btLevel
+}
+
+// pickBranchVar returns the unassigned variable with the highest activity,
+// or 0 when all variables are assigned.
+func (s *Solver) pickBranchVar() int {
+	for s.order.len() > 0 {
+		v := s.order.pop()
+		if s.assign[v] == lUndef {
+			return v
+		}
+	}
+	return 0
+}
+
+// Value returns the model value of a literal after Solve returned Sat.
+func (s *Solver) Value(l Lit) bool {
+	if l.Var() >= len(s.model) {
+		return false
+	}
+	v := s.model[l.Var()]
+	if v == lUndef {
+		return false
+	}
+	return l.Sign() == (v == lTrue)
+}
+
+// Model returns the model as a slice indexed by variable after Sat.
+func (s *Solver) Model() []bool {
+	m := make([]bool, s.numVars+1)
+	for v := 1; v <= s.numVars && v < len(s.model); v++ {
+		m[v] = s.model[v] == lTrue
+	}
+	return m
+}
+
+// varHeap is a max-heap over variable activity with lazy deletion.
+type varHeap struct {
+	solver *Solver
+	heap   []int
+	pos    []int // variable -> heap index + 1, 0 when absent
+}
+
+func (h *varHeap) len() int { return len(h.heap) }
+
+func (h *varHeap) less(i, j int) bool {
+	return h.solver.activity[h.heap[i]] > h.solver.activity[h.heap[j]]
+}
+
+func (h *varHeap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.pos[h.heap[i]] = i + 1
+	h.pos[h.heap[j]] = j + 1
+}
+
+func (h *varHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *varHeap) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.heap) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h.heap) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (h *varHeap) push(v int) {
+	for len(h.pos) <= v {
+		h.pos = append(h.pos, 0)
+	}
+	if h.pos[v] != 0 {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.pos[v] = len(h.heap)
+	h.up(len(h.heap) - 1)
+}
+
+func (h *varHeap) pushIfAbsent(v int) { h.push(v) }
+
+func (h *varHeap) pop() int {
+	v := h.heap[0]
+	last := len(h.heap) - 1
+	h.swap(0, last)
+	h.heap = h.heap[:last]
+	h.pos[v] = 0
+	if len(h.heap) > 0 {
+		h.down(0)
+	}
+	return v
+}
+
+func (h *varHeap) update(v int) {
+	if v < len(h.pos) && h.pos[v] != 0 {
+		i := h.pos[v] - 1
+		h.up(i)
+		h.down(h.pos[v] - 1)
+	}
+}

@@ -1,0 +1,118 @@
+package sidb
+
+import (
+	"testing"
+
+	"repro/internal/lattice"
+)
+
+func TestLayoutAddAndBoundingBox(t *testing.T) {
+	l := &Layout{}
+	l.AddCell(0, 0, RoleNormal)
+	l.AddCell(10, 20, RolePerturber)
+	if l.NumDots() != 2 {
+		t.Fatal("dot count wrong")
+	}
+	b := l.BoundingBox()
+	if b.MinX != 0 || b.MaxX != 10 || b.MinY != 0 || b.MaxY != 20 {
+		t.Errorf("bounding box wrong: %+v", b)
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	l := &Layout{}
+	l.AddCell(1, 2, RoleInput)
+	m := l.Translate(10, 20)
+	x, y := m.Dots[0].Site.Cell()
+	if x != 11 || y != 22 {
+		t.Errorf("translate got (%d,%d)", x, y)
+	}
+	if m.Dots[0].Role != RoleInput {
+		t.Error("role lost in translation")
+	}
+	// Original untouched.
+	if x0, _ := l.Dots[0].Site.Cell(); x0 != 1 {
+		t.Error("translate mutated original")
+	}
+}
+
+func TestMergeDropsDuplicates(t *testing.T) {
+	a := &Layout{}
+	a.AddCell(0, 0, RoleNormal)
+	a.AddCell(5, 5, RoleNormal)
+	b := &Layout{}
+	b.AddCell(5, 5, RoleNormal) // duplicate
+	b.AddCell(9, 9, RoleNormal)
+	a.Merge(b)
+	if a.NumDots() != 3 {
+		t.Errorf("merged count = %d, want 3", a.NumDots())
+	}
+}
+
+func TestValidateSpacing(t *testing.T) {
+	l := &Layout{}
+	l.AddCell(0, 0, RoleNormal)
+	l.AddCell(0, 0, RoleNormal) // duplicate site
+	l.AddCell(1, 0, RoleNormal) // 0.384 nm away
+	v := l.Validate(0.4)
+	if len(v) < 2 {
+		t.Errorf("expected duplicate + spacing violations, got %v", v)
+	}
+	ok := &Layout{}
+	ok.AddCell(0, 0, RoleNormal)
+	ok.AddCell(10, 0, RoleNormal)
+	if v := ok.Validate(0.4); len(v) != 0 {
+		t.Errorf("clean layout flagged: %v", v)
+	}
+}
+
+func TestBDLPairState(t *testing.T) {
+	l := &Layout{}
+	l.AddCell(0, 0, RoleOutput)
+	l.AddCell(1, 2, RoleOutput)
+	pair := BDLPair{Bit0: lattice.FromCell(0, 0), Bit1: lattice.FromCell(1, 2)}
+	idx := l.SiteIndex()
+
+	if got, err := pair.State(idx, []bool{true, false}); err != nil || got {
+		t.Errorf("charge on Bit0 must read 0: %v %v", got, err)
+	}
+	if got, err := pair.State(idx, []bool{false, true}); err != nil || !got {
+		t.Errorf("charge on Bit1 must read 1: %v %v", got, err)
+	}
+	if _, err := pair.State(idx, []bool{true, true}); err == nil {
+		t.Error("two electrons must be an error")
+	}
+	if _, err := pair.State(idx, []bool{false, false}); err == nil {
+		t.Error("zero electrons must be an error")
+	}
+}
+
+func TestBDLPairStateMissingDots(t *testing.T) {
+	pair := BDLPair{Bit0: lattice.FromCell(0, 0), Bit1: lattice.FromCell(1, 2)}
+	if _, err := pair.State(map[lattice.Site]int{}, nil); err == nil {
+		t.Error("missing dots must error")
+	}
+}
+
+func TestPairSeparation(t *testing.T) {
+	p := BDLPair{Bit0: lattice.FromCell(0, 0), Bit1: lattice.FromCell(1, 2)}
+	if d := p.SeparationNM(); d < 0.85 || d > 0.87 {
+		t.Errorf("separation = %v, want ~0.859", d)
+	}
+	q := p.Translate(3, 4)
+	if d := q.SeparationNM() - p.SeparationNM(); d > 1e-9 || d < -1e-9 {
+		t.Error("translation changed separation")
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	names := map[Role]string{
+		RoleNormal: "normal", RolePerturber: "perturber",
+		RoleInput: "input", RoleOutput: "output",
+	}
+	for r, want := range names {
+		if r.String() != want {
+			t.Errorf("%v.String() = %q", want, r.String())
+		}
+	}
+}

@@ -1,0 +1,362 @@
+// Package sim implements physical simulation of SiDB charge configurations:
+// an exhaustive ground-state finder (SiQAD's ExGS equivalent) and a
+// simulated-annealing ground-state finder (the SimAnneal engine of [30]
+// that the paper uses to validate the Bestagon library).
+//
+// The model is the established two-state SiDB electrostatics of SiQAD:
+// every dangling bond is either neutral (DB0) or negatively charged (DB-);
+// charges interact through a Thomas-Fermi-screened Coulomb potential
+//
+//	V(d) = e²/(4πε₀εᵣ) · exp(-d/λ_TF) / d,
+//
+// and each charged dot contributes the (negative) transition level μ_ to
+// the total energy. Positive charge states are not relevant to the
+// configurations of interest (§2 of the paper).
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/lattice"
+	"repro/internal/sidb"
+)
+
+// CoulombConstantEVnm is e²/(4πε₀) expressed in eV·nm.
+const CoulombConstantEVnm = 1.4399645
+
+// Params are the physical simulation parameters.
+type Params struct {
+	// MuMinus is the (-/0) transition level μ_ in eV (negative: isolated
+	// DBs prefer the negative charge state).
+	MuMinus float64
+	// EpsR is the relative permittivity ε_r.
+	EpsR float64
+	// LambdaTF is the Thomas-Fermi screening length λ_TF in nm.
+	LambdaTF float64
+}
+
+// ParamsFig1c are the parameters of the paper's Fig. 1c (Huff et al.'s OR
+// gate): μ_ = -0.28 eV, ε_r = 5.6, λ_TF = 5 nm.
+var ParamsFig1c = Params{MuMinus: -0.28, EpsR: 5.6, LambdaTF: 5}
+
+// ParamsFig5 are the parameters of the paper's Fig. 5 (Bestagon gate
+// validation): μ_ = -0.32 eV, ε_r = 5.6, λ_TF = 5 nm.
+var ParamsFig5 = Params{MuMinus: -0.32, EpsR: 5.6, LambdaTF: 5}
+
+// Potential returns the screened Coulomb potential between two charges at
+// distance d (nm) in eV.
+func (p Params) Potential(d float64) float64 {
+	if d <= 0 {
+		return math.Inf(1)
+	}
+	return CoulombConstantEVnm / p.EpsR * math.Exp(-d/p.LambdaTF) / d
+}
+
+// Engine computes energies and ground states for a fixed set of dots.
+type Engine struct {
+	Params Params
+	Sites  []lattice.Site
+	V      [][]float64 // pairwise interaction energies in eV
+	fixed  []bool      // dots pinned to DB- (perturbers)
+}
+
+// NewEngine builds an engine for the layout. Perturber dots are pinned to
+// the negative charge state, matching the paper's use of always-charged
+// peripheral perturbers.
+func NewEngine(l *sidb.Layout, params Params) *Engine {
+	n := len(l.Dots)
+	e := &Engine{
+		Params: params,
+		Sites:  l.Sites(),
+		V:      make([][]float64, n),
+		fixed:  make([]bool, n),
+	}
+	for i, d := range l.Dots {
+		if d.Role == sidb.RolePerturber {
+			e.fixed[i] = true
+		}
+	}
+	for i := 0; i < n; i++ {
+		e.V[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := params.Potential(lattice.DistanceNM(e.Sites[i], e.Sites[j]))
+			e.V[i][j] = v
+			e.V[j][i] = v
+		}
+	}
+	return e
+}
+
+// NumDots returns the number of dots.
+func (e *Engine) NumDots() int { return len(e.Sites) }
+
+// Energy returns the total configuration energy in eV: pairwise repulsion
+// of charged dots plus μ_ per charged dot.
+func (e *Engine) Energy(charged []bool) float64 {
+	total := 0.0
+	for i := range charged {
+		if !charged[i] {
+			continue
+		}
+		total += e.Params.MuMinus
+		for j := i + 1; j < len(charged); j++ {
+			if charged[j] {
+				total += e.V[i][j]
+			}
+		}
+	}
+	return total
+}
+
+// LocalPotential returns the electrostatic potential at dot i caused by
+// all other charged dots.
+func (e *Engine) LocalPotential(charged []bool, i int) float64 {
+	v := 0.0
+	for j := range charged {
+		if j != i && charged[j] {
+			v += e.V[i][j]
+		}
+	}
+	return v
+}
+
+// PopulationStable reports whether the configuration satisfies the
+// population stability criteria: no single charge addition or removal
+// lowers the energy (perturbers are exempt; they are pinned).
+func (e *Engine) PopulationStable(charged []bool) bool {
+	for i := range charged {
+		if e.fixed[i] {
+			continue
+		}
+		delta := e.Params.MuMinus + e.LocalPotential(charged, i)
+		if charged[i] {
+			// Removing the electron changes energy by -delta; stability
+			// requires delta <= 0.
+			if delta > 1e-12 {
+				return false
+			}
+		} else if delta < -1e-12 {
+			// Adding an electron would lower the energy.
+			return false
+		}
+	}
+	return true
+}
+
+// GroundState finds a minimum-energy configuration. Exhaustive search is
+// used up to ExactLimit free dots; otherwise simulated annealing with
+// deterministic restarts.
+func (e *Engine) GroundState() ([]bool, float64) {
+	free := 0
+	for _, f := range e.fixed {
+		if !f {
+			free++
+		}
+	}
+	if free <= ExactLimit {
+		return e.Exhaustive()
+	}
+	return e.Anneal(DefaultAnnealConfig())
+}
+
+// ExactLimit is the maximum number of free dots for exhaustive search.
+const ExactLimit = 22
+
+// Exhaustive enumerates all charge configurations of the free dots and
+// returns a minimum-energy configuration (SiQAD's ExGS equivalent).
+func (e *Engine) Exhaustive() ([]bool, float64) {
+	n := len(e.Sites)
+	var freeIdx []int
+	for i := 0; i < n; i++ {
+		if !e.fixed[i] {
+			freeIdx = append(freeIdx, i)
+		}
+	}
+	if len(freeIdx) > 63 {
+		panic(fmt.Sprintf("sim: %d free dots exceed exhaustive capability", len(freeIdx)))
+	}
+	base := make([]bool, n)
+	for i := range base {
+		base[i] = e.fixed[i] // perturbers always charged
+	}
+	best := append([]bool(nil), base...)
+	// Incremental energy evaluation via gray-code flips.
+	cur := append([]bool(nil), base...)
+	curE := e.Energy(cur)
+	bestE := curE
+	total := uint64(1) << len(freeIdx)
+	prevGray := uint64(0)
+	for k := uint64(1); k < total; k++ {
+		gray := k ^ (k >> 1)
+		diff := gray ^ prevGray
+		prevGray = gray
+		bit := 0
+		for diff>>1 != 0 {
+			diff >>= 1
+			bit++
+		}
+		i := freeIdx[bit]
+		curE += e.flipDelta(cur, i)
+		cur[i] = !cur[i]
+		if curE < bestE-1e-15 {
+			bestE = curE
+			copy(best, cur)
+		}
+	}
+	return best, bestE
+}
+
+// flipDelta returns the energy change of flipping dot i's charge.
+func (e *Engine) flipDelta(charged []bool, i int) float64 {
+	delta := e.Params.MuMinus + e.LocalPotential(charged, i)
+	if charged[i] {
+		return -delta
+	}
+	return delta
+}
+
+// AnnealConfig tunes the simulated-annealing ground-state search.
+type AnnealConfig struct {
+	Seed     int64
+	Restarts int
+	Sweeps   int     // sweeps per restart
+	TStart   float64 // initial temperature in eV
+	TEnd     float64 // final temperature in eV
+}
+
+// DefaultAnnealConfig returns settings calibrated for Bestagon-tile-sized
+// problems (tens of dots).
+func DefaultAnnealConfig() AnnealConfig {
+	return AnnealConfig{Seed: 1, Restarts: 8, Sweeps: 600, TStart: 0.3, TEnd: 0.001}
+}
+
+// Anneal runs simulated annealing over charge configurations and returns
+// the best configuration found. Deterministic for a given config.
+func (e *Engine) Anneal(cfg AnnealConfig) ([]bool, float64) {
+	n := len(e.Sites)
+	var freeIdx []int
+	for i := 0; i < n; i++ {
+		if !e.fixed[i] {
+			freeIdx = append(freeIdx, i)
+		}
+	}
+	best := make([]bool, n)
+	for i := range best {
+		best[i] = e.fixed[i]
+	}
+	bestE := e.Energy(best)
+
+	for restart := 0; restart < cfg.Restarts; restart++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(restart)*7919))
+		cur := make([]bool, n)
+		for i := range cur {
+			cur[i] = e.fixed[i]
+		}
+		// Random initial population of free dots.
+		for _, i := range freeIdx {
+			cur[i] = rng.Intn(2) == 1
+		}
+		curE := e.Energy(cur)
+		if curE < bestE {
+			bestE = curE
+			copy(best, cur)
+		}
+		if len(freeIdx) == 0 {
+			continue
+		}
+		cool := math.Pow(cfg.TEnd/cfg.TStart, 1/float64(cfg.Sweeps))
+		temp := cfg.TStart
+		for sweep := 0; sweep < cfg.Sweeps; sweep++ {
+			for range freeIdx {
+				i := freeIdx[rng.Intn(len(freeIdx))]
+				delta := e.flipDelta(cur, i)
+				if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+					cur[i] = !cur[i]
+					curE += delta
+					if curE < bestE-1e-15 {
+						bestE = curE
+						copy(best, cur)
+					}
+				}
+			}
+			temp *= cool
+		}
+		// Greedy descent to the nearest local minimum.
+		improved := true
+		for improved {
+			improved = false
+			for _, i := range freeIdx {
+				if d := e.flipDelta(cur, i); d < -1e-15 {
+					cur[i] = !cur[i]
+					curE += d
+					improved = true
+				}
+			}
+		}
+		if curE < bestE-1e-15 {
+			bestE = curE
+			copy(best, cur)
+		}
+	}
+	return best, bestE
+}
+
+// DegeneracyGap returns the energy gap between the ground state and the
+// lowest configuration whose charges differ on the given dots of interest
+// (e.g. an output pair read differently). Exhaustive only; used to assess
+// how robustly a gate encodes its output.
+func (e *Engine) DegeneracyGap(interest []int) (float64, error) {
+	n := len(e.Sites)
+	var freeIdx []int
+	for i := 0; i < n; i++ {
+		if !e.fixed[i] {
+			freeIdx = append(freeIdx, i)
+		}
+	}
+	if len(freeIdx) > ExactLimit {
+		return 0, fmt.Errorf("sim: degeneracy gap needs exhaustive search (%d free dots)", len(freeIdx))
+	}
+	ground, groundE := e.Exhaustive()
+	key := func(c []bool) uint64 {
+		var k uint64
+		for bit, i := range interest {
+			if c[i] {
+				k |= 1 << bit
+			}
+		}
+		return k
+	}
+	groundKey := key(ground)
+	bestOther := math.Inf(1)
+	cur := make([]bool, n)
+	for i := range cur {
+		cur[i] = e.fixed[i]
+	}
+	curE := e.Energy(cur)
+	total := uint64(1) << len(freeIdx)
+	prevGray := uint64(0)
+	if key(cur) != groundKey && curE < bestOther {
+		bestOther = curE
+	}
+	for k := uint64(1); k < total; k++ {
+		gray := k ^ (k >> 1)
+		diff := gray ^ prevGray
+		prevGray = gray
+		bit := 0
+		for diff>>1 != 0 {
+			diff >>= 1
+			bit++
+		}
+		i := freeIdx[bit]
+		curE += e.flipDelta(cur, i)
+		cur[i] = !cur[i]
+		if key(cur) != groundKey && curE < bestOther {
+			bestOther = curE
+		}
+	}
+	return bestOther - groundE, nil
+}
