@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build test check race bench table1 clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the pre-merge gate: static analysis plus the full test suite
+# under the race detector (short mode keeps the instrumented annealer and
+# SAT race coverage while skipping the hour-long exhaustive sweeps).
+check:
+	$(GO) vet ./...
+	$(GO) test -race -short ./...
+
+# race runs the complete suite under the race detector (slow).
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+table1:
+	$(GO) run ./cmd/table1
+
+clean:
+	$(GO) clean ./...

@@ -15,13 +15,17 @@ package repro
 import (
 	"fmt"
 	"io"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/figures"
 	"repro/internal/gatelib"
+	"repro/internal/lattice"
 	"repro/internal/logic/bench"
+	"repro/internal/obs"
 	"repro/internal/pnr"
+	"repro/internal/sidb"
 	"repro/internal/sim"
 )
 
@@ -217,5 +221,70 @@ func BenchmarkAblationXAGvsAIG(b *testing.B) {
 			b.ReportMetric(float64(xagTiles), "xag_tiles")
 			b.ReportMetric(float64(aigTiles), "aig_tiles")
 		})
+	}
+}
+
+// TestInstrumentedPathsRace drives the telemetry-instrumented hot paths
+// (annealer sweeps, SAT search, the full flow) from concurrent goroutines
+// sharing one tracer. Under `go test -race` this checks that the metric
+// counters and span bookkeeping added for observability are data-race
+// free. It runs in short mode so `go test -race -short ./...` covers it.
+func TestInstrumentedPathsRace(t *testing.T) {
+	tr := obs.New()
+
+	// A small free-dot chain keeps each anneal fast while still exercising
+	// the instrumented flip loop.
+	mkLayout := func() *sidb.Layout {
+		l := &sidb.Layout{}
+		for i := 0; i < 5; i++ {
+			l.Add(lattice.FromCell(i*4, 0), sidb.RoleNormal)
+		}
+		return l
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cfg := sim.DefaultAnnealConfig()
+			cfg.Seed = int64(g + 1)
+			cfg.Restarts = 2
+			cfg.Sweeps = 60
+			cfg.Tracer = tr
+			eng := sim.NewEngine(mkLayout(), sim.ParamsFig5)
+			eng.Anneal(cfg)
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := core.RunBenchmark("xor2", core.Options{
+			Tracer:        tr,
+			Engine:        core.EngineExact,
+			SkipCellLevel: true,
+			Exact:         pnr.ExactOptions{ConflictBudget: 150000},
+		}); err != nil {
+			t.Error(err)
+		}
+	}()
+	wg.Wait()
+
+	rep := tr.Report("race")
+	if rep.Counter("sim/anneal/flips_tried") == 0 {
+		t.Error("no annealer telemetry recorded")
+	}
+	if rep.Counter("sim/anneal/runs") != 4 {
+		t.Errorf("anneal runs = %d, want 4", rep.Counter("sim/anneal/runs"))
+	}
+	if rep.Counter("sim/anneal/restarts") != 8 {
+		t.Errorf("anneal restarts = %d, want 8", rep.Counter("sim/anneal/restarts"))
+	}
+	if rep.Counter("sat/propagations") == 0 {
+		t.Error("no SAT telemetry recorded")
+	}
+	if _, err := rep.JSON(); err != nil {
+		t.Errorf("concurrent-run report not serializable: %v", err)
 	}
 }

@@ -9,19 +9,29 @@
 //	bestagon -bench c17 -o c17.sqd
 //	bestagon -in design.bench -engine exact -o out.sqd
 //	bestagon -in design.v -render
+//	bestagon -bench c17 -trace -report c17-report.json
+//	bestagon -bench mux21 -o - | siqad-import   # .sqd on stdout, pipeable
+//
+// Diagnostics always go to stderr. The run summary goes to stdout unless
+// machine-readable output was directed there (-o - or -report -), in which
+// case the summary moves to stderr so the pipe stays clean.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/gates"
 	"repro/internal/logic/bench"
 	"repro/internal/logic/network"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -29,11 +39,15 @@ func main() {
 		inFile    = flag.String("in", "", "input specification file (.bench or .v)")
 		benchName = flag.String("bench", "", "built-in Table 1 benchmark name")
 		engine    = flag.String("engine", "auto", "physical design engine: auto, exact, ortho")
-		out       = flag.String("o", "", "output SiQAD .sqd file")
+		out       = flag.String("o", "", "output SiQAD .sqd file ('-' for stdout)")
 		render    = flag.Bool("render", false, "print the gate-level layout as ASCII art")
 		noRewrite = flag.Bool("no-rewrite", false, "skip the logic rewriting step")
 		gateLevel = flag.Bool("gate-level", false, "stop after verification (no cell-level layout)")
 		list      = flag.Bool("list", false, "list built-in benchmarks and exit")
+		trace     = flag.Bool("trace", false, "print the per-stage timing tree to stderr")
+		report    = flag.String("report", "", "write a machine-readable JSON run report to FILE ('-' for stdout)")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to FILE")
+		memprof   = flag.String("memprofile", "", "write a heap profile to FILE")
 	)
 	flag.Parse()
 
@@ -43,6 +57,24 @@ func main() {
 				b.Name, b.Suite, b.PaperW, b.PaperH, b.PaperSiDBs, b.PaperArea)
 		}
 		return
+	}
+
+	// The summary goes to stdout unless machine-readable output claims it.
+	var msg io.Writer = os.Stdout
+	if *out == "-" || *report == "-" {
+		msg = os.Stderr
+	}
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	x, err := loadSpec(*inFile, *benchName)
@@ -62,21 +94,30 @@ func main() {
 		fatal(fmt.Errorf("unknown engine %q", *engine))
 	}
 
+	// A tracer is only attached when telemetry was requested; library users
+	// and plain runs keep the free nil-tracer path.
+	var tr *obs.Tracer
+	if *trace || *report != "" {
+		tr = obs.New()
+		opts.Tracer = tr
+	}
+
 	res, err := core.Run(x, opts)
 	if err != nil {
+		emitTelemetry(tr, x.Name, *trace, *report)
 		fatal(err)
 	}
 
-	fmt.Printf("specification : %v\n", res.Spec)
-	fmt.Printf("rewritten     : %v\n", res.Rewritten)
-	fmt.Printf("mapped        : %v\n", res.Mapped)
-	fmt.Printf("layout        : %v [%s engine]\n", res.Layout, res.EngineUsed)
-	fmt.Printf("verification  : equivalent (SAT, %d conflicts)\n", res.Verification.Conflicts)
-	fmt.Printf("super-tiles   : %d rows per clock electrode (%.2f nm pitch)\n",
+	fmt.Fprintf(msg, "specification : %v\n", res.Spec)
+	fmt.Fprintf(msg, "rewritten     : %v\n", res.Rewritten)
+	fmt.Fprintf(msg, "mapped        : %v\n", res.Mapped)
+	fmt.Fprintf(msg, "layout        : %v [%s engine]\n", res.Layout, res.EngineUsed)
+	fmt.Fprintf(msg, "verification  : equivalent (SAT, %d conflicts)\n", res.Verification.Conflicts)
+	fmt.Fprintf(msg, "super-tiles   : %d rows per clock electrode (%.2f nm pitch)\n",
 		res.SuperTiles.RowsPerSuperTile, res.SuperTiles.PitchNM)
-	fmt.Printf("area          : %.2f nm2 (%dx%d tiles)\n", res.AreaNM2, res.Layout.Width(), res.Layout.Height())
+	fmt.Fprintf(msg, "area          : %.2f nm2 (%dx%d tiles)\n", res.AreaNM2, res.Layout.Width(), res.Layout.Height())
 	if res.CellLayout != nil {
-		fmt.Printf("SiDBs         : %d\n", res.SiDBs)
+		fmt.Fprintf(msg, "SiDBs         : %d\n", res.SiDBs)
 	}
 	counts := res.Layout.GateCounts()
 	var parts []string
@@ -85,22 +126,67 @@ func main() {
 			parts = append(parts, fmt.Sprintf("%s=%d", f, n))
 		}
 	}
-	fmt.Printf("tiles         : %s\n", strings.Join(parts, " "))
+	fmt.Fprintf(msg, "tiles         : %s\n", strings.Join(parts, " "))
 
 	if *render {
-		fmt.Println()
-		fmt.Println(res.Layout.Render())
+		fmt.Fprintln(msg)
+		fmt.Fprintln(msg, res.Layout.Render())
 	}
 	if *out != "" {
 		doc, err := res.ExportSQD()
 		if err != nil {
 			fatal(err)
 		}
-		if err := os.WriteFile(*out, []byte(doc), 0o644); err != nil {
+		if *out == "-" {
+			fmt.Print(doc)
+		} else {
+			if err := os.WriteFile(*out, []byte(doc), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "bestagon: wrote %s\n", *out)
+		}
+	}
+
+	emitTelemetry(tr, x.Name, *trace, *report)
+
+	if *memprof != "" {
+		f, err := os.Create(*memprof)
+		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote         : %s\n", *out)
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
 	}
+}
+
+// emitTelemetry renders the -trace tree and writes the -report file. It is
+// also called on flow errors so partial telemetry is never lost.
+func emitTelemetry(tr *obs.Tracer, name string, trace bool, reportPath string) {
+	if tr == nil {
+		return
+	}
+	rep := tr.Report(name)
+	if trace {
+		fmt.Fprint(os.Stderr, rep.RenderTree())
+	}
+	if reportPath == "" {
+		return
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		fatal(err)
+	}
+	if reportPath == "-" {
+		fmt.Printf("%s\n", data)
+		return
+	}
+	if err := os.WriteFile(reportPath, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "bestagon: wrote %s\n", reportPath)
 }
 
 // loadSpec loads the requested specification.

@@ -25,6 +25,7 @@ import (
 	"repro/internal/logic/mapping"
 	"repro/internal/logic/network"
 	"repro/internal/logic/rewrite"
+	"repro/internal/obs"
 	"repro/internal/pnr"
 	"repro/internal/sidb"
 	"repro/internal/sqd"
@@ -60,6 +61,9 @@ type Options struct {
 	SkipCellLevel bool
 	// Library is the gate library to apply; nil uses the default library.
 	Library *gatelib.Library
+	// Tracer receives flow-wide telemetry (stage spans, engine metrics);
+	// nil disables instrumentation with zero overhead.
+	Tracer *obs.Tracer
 }
 
 // Result collects every artifact of a flow run.
@@ -87,56 +91,85 @@ type Result struct {
 // Run executes the flow on a specification network.
 func Run(spec *network.XAG, opts Options) (*Result, error) {
 	res := &Result{Spec: spec}
+	tr := opts.Tracer
+	root := tr.Start("flow")
+	defer root.End()
 
 	// (2) logic rewriting.
+	sp := tr.Start("rewrite")
 	if opts.SkipRewrite {
 		res.Rewritten = spec.Cleanup()
 	} else {
 		res.Rewritten = rewrite.Rewrite(spec, opts.Rewrite)
 	}
+	sp.SetAttr("gates", res.Rewritten.NumGates())
+	sp.End()
 
 	// (3) technology mapping.
+	sp = tr.Start("mapping")
 	m, err := mapping.Map(res.Rewritten)
+	sp.End()
 	if err != nil {
 		return res, fmt.Errorf("core: mapping: %w", err)
 	}
 	res.Mapped = m
 
 	// (4) physical design.
+	sp = tr.Start("expand")
 	g, err := pnr.Expand(m)
+	sp.End()
 	if err != nil {
 		return res, fmt.Errorf("core: expansion: %w", err)
 	}
 	res.Graph = g
+	ex := opts.Exact
+	ex.Tracer = tr
+	sp = tr.Start("pnr")
 	var layout *gatelayout.Layout
 	switch opts.Engine {
 	case EngineOrtho:
-		layout, err = pnr.Ortho(g)
+		layout, err = pnr.Ortho(g, tr)
 		res.EngineUsed = "ortho"
 	case EngineExact:
-		layout, err = pnr.Exact(g, opts.Exact)
+		layout, err = pnr.Exact(g, ex)
 		res.EngineUsed = "exact"
 	default:
-		layout, err = pnr.Exact(g, opts.Exact)
+		layout, err = pnr.Exact(g, ex)
 		res.EngineUsed = "exact"
 		if err != nil {
-			layout, err = pnr.Ortho(g)
+			layout, err = pnr.Ortho(g, tr)
 			res.EngineUsed = "ortho"
 		}
 	}
+	sp.SetAttr("engine", res.EngineUsed)
+	sp.End()
 	if err != nil {
 		return res, fmt.Errorf("core: physical design: %w", err)
 	}
 	res.Layout = layout
+	root.SetAttr("engine", res.EngineUsed)
 
 	// Design rule check under the super-tile plan (flow step 6).
+	sp = tr.Start("drc")
 	res.SuperTiles = clocking.PlanSuperTiles(clocking.MinMetalPitchNM)
-	if v := layout.Check(&res.SuperTiles); len(v) != 0 {
+	v := layout.Check(&res.SuperTiles)
+	sp.End()
+	if len(v) != 0 {
 		return res, fmt.Errorf("core: %d design-rule violations, first: %v", len(v), v[0])
 	}
 
 	// (5) formal verification.
+	sp = tr.Start("verify")
 	eq, err := verify.EquivalentLayout(spec, layout)
+	if err == nil {
+		sp.SetAttr("conflicts", eq.Metrics.Conflicts)
+		tr.Counter("sat/conflicts").Add(eq.Metrics.Conflicts)
+		tr.Counter("sat/decisions").Add(eq.Metrics.Decisions)
+		tr.Counter("sat/propagations").Add(eq.Metrics.Propagations)
+		tr.Counter("sat/restarts").Add(eq.Metrics.Restarts)
+		tr.Counter("sat/learned").Add(eq.Metrics.Learned)
+	}
+	sp.End()
 	if err != nil {
 		return res, fmt.Errorf("core: verification: %w", err)
 	}
@@ -146,6 +179,8 @@ func Run(spec *network.XAG, opts Options) (*Result, error) {
 	}
 
 	res.AreaNM2 = gatelib.AreaNM2(layout.Width(), layout.Height())
+	tr.Gauge("flow/area_nm2").Set(res.AreaNM2)
+	root.SetAttr("area_nm2", res.AreaNM2)
 
 	// (7) gate library application.
 	if !opts.SkipCellLevel {
@@ -153,12 +188,14 @@ func Run(spec *network.XAG, opts Options) (*Result, error) {
 		if lib == nil {
 			lib = gatelib.NewLibrary()
 		}
-		cell, err := gatelib.Apply(lib, layout)
+		cell, err := gatelib.Apply(lib, layout, tr)
 		if err != nil {
 			return res, fmt.Errorf("core: library application: %w", err)
 		}
 		res.CellLayout = cell
 		res.SiDBs = cell.NumDots()
+		tr.Gauge("flow/sidbs").Set(float64(res.SiDBs))
+		root.SetAttr("sidbs", res.SiDBs)
 	}
 	return res, nil
 }

@@ -7,8 +7,81 @@ import (
 
 	"repro/internal/logic/bench"
 	"repro/internal/logic/network"
+	"repro/internal/obs"
 	"repro/internal/pnr"
 )
+
+// TestRunReportC17 is the flow-wide telemetry integration test: run the
+// full instrumented flow on the c17 built-in benchmark and check that the
+// resulting RunReport contains every expected stage plus nonzero SAT,
+// exact-P&R size-search, and gate-apply metrics, and that stage durations
+// account for the bulk of the total wall time.
+func TestRunReportC17(t *testing.T) {
+	tr := obs.New()
+	res, err := RunBenchmark("c17", Options{
+		Tracer: tr,
+		Exact:  pnr.ExactOptions{ConflictBudget: 150000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verification.Equivalent {
+		t.Fatal("c17 not verified")
+	}
+	rep := tr.Report("c17")
+
+	for _, stage := range []string{
+		"flow", "rewrite", "mapping", "expand", "pnr", "drc", "verify", "gatelib/apply",
+	} {
+		if rep.Stage(stage) == nil {
+			t.Errorf("report missing stage %q", stage)
+		}
+	}
+	if res.EngineUsed == "exact" && rep.Stage("pnr/exact/size") == nil {
+		t.Error("report missing exact size-search spans")
+	}
+
+	// Engine metrics must be populated.
+	if rep.Counter("sat/conflicts") == 0 && rep.Counter("sat/propagations") == 0 {
+		t.Error("no SAT effort recorded")
+	}
+	if rep.Counter("pnr/exact/sizes_tried") == 0 {
+		t.Error("no exact size-search iterations recorded")
+	}
+	if rep.Counter("gatelib/tiles_applied") == 0 {
+		t.Error("no gate-apply metrics recorded")
+	}
+	if rep.Metrics["flow/sidbs"].Value <= 0 || rep.Metrics["flow/area_nm2"].Value <= 0 {
+		t.Errorf("flow gauges missing: %+v", rep.Metrics)
+	}
+
+	// Per-stage durations must sum to (nearly) the flow total: the spans
+	// cover the whole pipeline, not a sample of it.
+	flow := rep.Stage("flow")
+	if flow == nil || flow.Seconds <= 0 {
+		t.Fatal("flow span missing or zero")
+	}
+	var sum float64
+	for _, c := range flow.Children {
+		sum += c.Seconds
+	}
+	if sum < 0.9*flow.Seconds || sum > 1.001*flow.Seconds {
+		t.Errorf("stage durations sum %.6fs, flow total %.6fs (want within 10%%)", sum, flow.Seconds)
+	}
+
+	// The report must survive a JSON round trip.
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := obs.ParseReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Stage("verify") == nil || back.Counter("pnr/exact/sizes_tried") != rep.Counter("pnr/exact/sizes_tried") {
+		t.Error("report JSON round trip lost data")
+	}
+}
 
 func TestRunSmallBenchmarksOrtho(t *testing.T) {
 	for _, name := range []string{"xor2", "xnor2", "par_gen", "mux21"} {

@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"repro/internal/lattice"
+	"repro/internal/obs"
 	"repro/internal/sidb"
 	"repro/internal/sim"
 )
@@ -69,6 +70,9 @@ type Options struct {
 	// Initial seeds the first restart with a known starting placement
 	// (e.g. a solution from a reduced model being refined).
 	Initial []lattice.Site
+	// Tracer receives search telemetry (restart/evaluation counts, best
+	// candidate quality); nil disables it at no cost.
+	Tracer *obs.Tracer
 }
 
 // DefaultOptions returns settings that explore a Bestagon canvas in a few
@@ -149,11 +153,17 @@ func better(a, b Candidate) bool {
 // Candidates are drawn from the given candidate sites; the search is
 // deterministic for fixed options.
 func Search(t *Template, candidates []lattice.Site, opts Options) (Candidate, error) {
+	tr := opts.Tracer
+	sp := tr.Start("designer/search")
+	defer sp.End()
 	if len(candidates) == 0 {
 		return Evaluate(t, nil), nil
 	}
+	evals := int64(0)
+	restartsUsed := 0
 	best := Candidate{MinGap: -1}
 	for restart := 0; restart < opts.Restarts; restart++ {
+		restartsUsed = restart + 1
 		rng := rand.New(rand.NewSource(opts.Seed + int64(restart)*104729))
 		k := opts.MinDots
 		if opts.MaxDots > opts.MinDots {
@@ -167,12 +177,14 @@ func Search(t *Template, candidates []lattice.Site, opts Options) (Candidate, er
 			cur = randomSubset(rng, candidates, k)
 		}
 		curScore := Evaluate(t, cur)
+		evals++
 		if best.MinGap < 0 || better(curScore, best) {
 			best = curScore
 		}
 		for it := 0; it < opts.Iterations; it++ {
 			next := mutate(rng, cur, candidates, opts)
 			nextScore := Evaluate(t, next)
+			evals++
 			if better(nextScore, curScore) || (!better(curScore, nextScore) && rng.Intn(4) == 0) {
 				cur, curScore = next, nextScore
 				if better(curScore, best) {
@@ -187,6 +199,13 @@ func Search(t *Template, candidates []lattice.Site, opts Options) (Candidate, er
 			break
 		}
 	}
+	sp.SetAttr("restarts", restartsUsed)
+	sp.SetAttr("evaluations", evals)
+	sp.SetAttr("correct", best.Correct)
+	sp.SetAttr("patterns", best.Patterns)
+	sp.SetAttr("min_gap", best.MinGap)
+	tr.Counter("designer/evaluations").Add(evals)
+	tr.Counter("designer/restarts").Add(int64(restartsUsed))
 	if !best.Works() {
 		return best, fmt.Errorf("designer: no working placement found (best %d/%d patterns)", best.Correct, best.Patterns)
 	}

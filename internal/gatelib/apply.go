@@ -7,17 +7,22 @@ import (
 	"repro/internal/gates"
 	"repro/internal/hexgrid"
 	"repro/internal/lattice"
+	"repro/internal/obs"
 	"repro/internal/sidb"
 )
 
 // Apply maps every tile of a gate-level layout to its dot-accurate design,
 // yielding the final SiDB layout — flow step (7): "apply the Bestagon
-// library to map each gate to a dot-accurate representation".
+// library to map each gate to a dot-accurate representation". A nil tracer
+// disables telemetry at no cost.
 //
 // Tiles are placed on the hexagonal grid in odd-r offset coordinates: tile
 // (x, y) is instantiated at cell origin (60x + 30·(y mod 2), 46y).
-func Apply(lib *Library, l *gatelayout.Layout) (*sidb.Layout, error) {
+func Apply(lib *Library, l *gatelayout.Layout, tr *obs.Tracer) (*sidb.Layout, error) {
+	sp := tr.Start("gatelib/apply")
+	defer sp.End()
 	out := &sidb.Layout{Name: l.Name}
+	tiles := 0
 	for _, at := range l.Tiles() {
 		tile, _ := l.At(at)
 		if tile.Func == gates.None {
@@ -28,8 +33,15 @@ func Apply(lib *Library, l *gatelayout.Layout) (*sidb.Layout, error) {
 			return nil, fmt.Errorf("gatelib: tile %v: %w", at, err)
 		}
 		ox, oy := TileOrigin(at)
+		before := out.NumDots()
 		out.Merge(d.Layout(ox, oy))
+		tiles++
+		tr.Histogram("gatelib/dots_per_tile",
+			10, 20, 30, 40, 60, 80).Observe(float64(out.NumDots() - before))
 	}
+	tr.Counter("gatelib/tiles_applied").Add(int64(tiles))
+	sp.SetAttr("tiles", tiles)
+	sp.SetAttr("sidbs", out.NumDots())
 	return out, nil
 }
 
@@ -51,7 +63,7 @@ func mod2(y int) int {
 // CountSiDBs returns the number of dots the layout would contain after
 // applying the library, without building the merged layout.
 func CountSiDBs(lib *Library, l *gatelayout.Layout) (int, error) {
-	s, err := Apply(lib, l)
+	s, err := Apply(lib, l, nil)
 	if err != nil {
 		return 0, err
 	}

@@ -159,12 +159,12 @@ func TestApplyProducesCellLayout(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	l, err := pnr.Ortho(g)
+	l, err := pnr.Ortho(g, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	lib := NewLibrary()
-	cell, err := Apply(lib, l)
+	cell, err := Apply(lib, l, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,11 +197,11 @@ func TestApplyAllBenchmarksStructure(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		l, err := pnr.Ortho(g)
+		l, err := pnr.Ortho(g, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		cell, err := Apply(lib, l)
+		cell, err := Apply(lib, l, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}

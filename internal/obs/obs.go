@@ -1,0 +1,184 @@
+// Package obs provides flow-wide telemetry for the Bestagon design flow:
+// hierarchical wall-clock spans, typed counters/gauges/histograms, and a
+// machine-readable RunReport aggregating an entire run.
+//
+// The package is zero-dependency (standard library only) and designed so
+// that an absent tracer is free: every method is safe to call on a nil
+// *Tracer, nil *Span, nil *Counter, nil *Gauge, and nil *Histogram, and the
+// nil fast path performs no allocations and no locking. Library users that
+// do not opt into telemetry therefore pay nothing.
+//
+// Spans nest implicitly: Tracer.Start pushes onto an active-span stack and
+// Span.End pops, so deeply layered components (core -> pnr -> sat) need
+// only a *Tracer, not their parent span. The implicit nesting models the
+// flow's sequential structure; counters, gauges and histograms are
+// additionally safe for concurrent use from multiple goroutines.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Tracer collects spans and metrics for one flow run. The zero value is not
+// usable; construct with New. A nil *Tracer is a valid no-op tracer.
+type Tracer struct {
+	mu      sync.Mutex
+	started time.Time
+	roots   []*Span
+	stack   []*Span
+	sink    Sink
+
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// New returns an empty tracer; its start time anchors the run report.
+func New() *Tracer {
+	return &Tracer{
+		started:    time.Now(),
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Sink receives completed spans as they end; SpanEnd must not retain or
+// mutate the span. A sink enables streaming trace output without waiting
+// for the final report.
+type Sink interface {
+	SpanEnd(s *Span)
+}
+
+// SetSink installs the span sink (nil to remove).
+func (t *Tracer) SetSink(s Sink) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.sink = s
+	t.mu.Unlock()
+}
+
+// Span is one timed region of the flow. A nil *Span is a valid no-op.
+type Span struct {
+	t        *Tracer
+	parent   *Span
+	name     string
+	start    time.Time
+	dur      time.Duration
+	ended    bool
+	children []*Span
+	attrs    []Attr
+}
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
+}
+
+// Start opens a span nested under the currently active span (or as a new
+// root). The returned span must be closed with End.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sp := &Span{t: t, name: name, start: time.Now()}
+	if n := len(t.stack); n > 0 {
+		sp.parent = t.stack[n-1]
+		sp.parent.children = append(sp.parent.children, sp)
+	} else {
+		t.roots = append(t.roots, sp)
+	}
+	t.stack = append(t.stack, sp)
+	return sp
+}
+
+// End closes the span, fixing its duration. Ending an already-ended span is
+// a no-op. Any still-open descendants are implicitly deactivated.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.t
+	t.mu.Lock()
+	if s.ended {
+		t.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.dur = time.Since(s.start)
+	for i := len(t.stack) - 1; i >= 0; i-- {
+		if t.stack[i] == s {
+			t.stack = t.stack[:i]
+			break
+		}
+	}
+	sink := t.sink
+	t.mu.Unlock()
+	if sink != nil {
+		sink.SpanEnd(s)
+	}
+}
+
+// SetAttr annotates the span, replacing any previous value for the key.
+// Values must be JSON-serializable for the run report.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = value
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// Name returns the span name.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the span's wall-clock duration; for a still-open span it
+// returns the time elapsed so far.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	return s.durationLocked()
+}
+
+func (s *Span) durationLocked() time.Duration {
+	if s.ended {
+		return s.dur
+	}
+	return time.Since(s.start)
+}
+
+// Attr returns the value of an annotation, or nil when absent.
+func (s *Span) Attr(key string) any {
+	if s == nil {
+		return nil
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	for _, a := range s.attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return nil
+}

@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanNesting(t *testing.T) {
+	tr := New()
+	root := tr.Start("flow")
+	a := tr.Start("a")
+	aa := tr.Start("a/a")
+	aa.End()
+	a.End()
+	b := tr.Start("b")
+	b.End()
+	root.End()
+
+	rep := tr.Report("test")
+	if len(rep.Stages) != 1 || rep.Stages[0].Name != "flow" {
+		t.Fatalf("want one root 'flow', got %+v", rep.Stages)
+	}
+	flow := rep.Stages[0]
+	if len(flow.Children) != 2 || flow.Children[0].Name != "a" || flow.Children[1].Name != "b" {
+		t.Fatalf("children wrong: %+v", flow.Children)
+	}
+	if len(flow.Children[0].Children) != 1 || flow.Children[0].Children[0].Name != "a/a" {
+		t.Fatalf("grandchild wrong: %+v", flow.Children[0].Children)
+	}
+	if rep.Stage("a/a") == nil || rep.Stage("missing") != nil {
+		t.Error("Stage finder broken")
+	}
+}
+
+func TestSpanDurationMonotonicity(t *testing.T) {
+	tr := New()
+	parent := tr.Start("parent")
+	child := tr.Start("child")
+	time.Sleep(2 * time.Millisecond)
+	child.End()
+	time.Sleep(time.Millisecond)
+	parent.End()
+
+	cd, pd := child.Duration(), parent.Duration()
+	if cd <= 0 || pd <= 0 {
+		t.Fatalf("durations must be positive: child=%v parent=%v", cd, pd)
+	}
+	if cd > pd {
+		t.Errorf("child duration %v exceeds parent %v", cd, pd)
+	}
+	// Duration is fixed after End.
+	time.Sleep(time.Millisecond)
+	if child.Duration() != cd {
+		t.Error("ended span duration not stable")
+	}
+	// Double End is a no-op.
+	child.End()
+	if child.Duration() != cd {
+		t.Error("double End changed duration")
+	}
+}
+
+func TestSpanAttrs(t *testing.T) {
+	tr := New()
+	sp := tr.Start("s")
+	sp.SetAttr("w", 3)
+	sp.SetAttr("w", 4) // replace
+	sp.SetAttr("status", "SAT")
+	sp.End()
+	if got := sp.Attr("w"); got != 4 {
+		t.Errorf("attr w = %v, want 4", got)
+	}
+	if got := sp.Attr("status"); got != "SAT" {
+		t.Errorf("attr status = %v", got)
+	}
+	if sp.Attr("missing") != nil {
+		t.Error("missing attr must be nil")
+	}
+}
+
+func TestOutOfOrderEnd(t *testing.T) {
+	tr := New()
+	a := tr.Start("a")
+	b := tr.Start("b")
+	a.End() // ends before its child; must not corrupt the stack
+	b.End()
+	c := tr.Start("c")
+	c.End()
+	rep := tr.Report("test")
+	if rep.Stage("c") == nil {
+		t.Error("span after out-of-order End lost")
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	// Edge semantics: v <= bound lands in that bucket.
+	for _, v := range []float64{0, 1} { // bucket 0 (<=1)
+		h.Observe(v)
+	}
+	for _, v := range []float64{1.0001, 5, 10} { // bucket 1 (<=10)
+		h.Observe(v)
+	}
+	h.Observe(100)  // bucket 2 (<=100)
+	h.Observe(1000) // overflow
+	bounds, counts := h.Buckets()
+	if !reflect.DeepEqual(bounds, []float64{1, 10, 100}) {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	if !reflect.DeepEqual(counts, []int64{2, 3, 1, 1}) {
+		t.Errorf("counts = %v, want [2 3 1 1]", counts)
+	}
+	if h.Count() != 7 {
+		t.Errorf("count = %d, want 7", h.Count())
+	}
+	if h.Sum() != 0+1+1.0001+5+10+100+1000 {
+		t.Errorf("sum = %v", h.Sum())
+	}
+}
+
+func TestHistogramBoundsSortedDeduped(t *testing.T) {
+	h := NewHistogram(10, 1, 10, 5)
+	bounds, counts := h.Buckets()
+	if !reflect.DeepEqual(bounds, []float64{1, 5, 10}) {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	if len(counts) != 4 {
+		t.Fatalf("counts len = %d", len(counts))
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	tr := New()
+	tr.Counter("c").Inc()
+	tr.Counter("c").Add(4)
+	if tr.Counter("c").Value() != 5 {
+		t.Errorf("counter = %d", tr.Counter("c").Value())
+	}
+	tr.Gauge("g").Set(2.5)
+	if tr.Gauge("g").Value() != 2.5 {
+		t.Errorf("gauge = %v", tr.Gauge("g").Value())
+	}
+	rep := tr.Report("test")
+	if rep.Counter("c") != 5 {
+		t.Errorf("report counter = %d", rep.Counter("c"))
+	}
+	if rep.Metrics["g"].Value != 2.5 || rep.Metrics["g"].Type != "gauge" {
+		t.Errorf("report gauge = %+v", rep.Metrics["g"])
+	}
+}
+
+// TestNilTracerIsFree asserts the no-op fast path allocates nothing: the
+// documented contract that library users without a tracer pay zero cost.
+func TestNilTracerIsFree(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Start("pnr/exact")
+		sp.SetAttr("w", 3)
+		sp.SetAttr("status", "SAT")
+		child := tr.Start("child")
+		child.End()
+		sp.End()
+		tr.Counter("sat/conflicts").Add(17)
+		tr.Counter("sat/conflicts").Inc()
+		tr.Gauge("flow/area_nm2").Set(1.5)
+		tr.Histogram("h", 1, 2, 3).Observe(2)
+		_ = sp.Duration()
+		_ = sp.Name()
+		_ = tr.Report("x")
+	})
+	if allocs != 0 {
+		t.Errorf("nil tracer path allocates %v times per op, want 0", allocs)
+	}
+}
+
+func TestRunReportJSONRoundTrip(t *testing.T) {
+	tr := New()
+	root := tr.Start("flow")
+	sp := tr.Start("pnr/exact")
+	sp.SetAttr("w", 3)
+	sp.SetAttr("engine", "exact")
+	sp.End()
+	root.End()
+	tr.Counter("sat/conflicts").Add(42)
+	tr.Gauge("flow/area_nm2").Set(764.5)
+	h := tr.Histogram("pnr/exact/conflicts_per_size", 10, 100)
+	h.Observe(5)
+	h.Observe(1e6)
+
+	rep := tr.Report("c17")
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != rep.Name || back.WallSeconds != rep.WallSeconds {
+		t.Errorf("header mismatch: %+v vs %+v", back, rep)
+	}
+	if back.Counter("sat/conflicts") != 42 {
+		t.Errorf("counter lost: %v", back.Counter("sat/conflicts"))
+	}
+	if back.Metrics["flow/area_nm2"].Value != 764.5 {
+		t.Error("gauge lost")
+	}
+	hm := back.Metrics["pnr/exact/conflicts_per_size"]
+	if hm.Count != 2 || !reflect.DeepEqual(hm.Buckets, []int64{1, 0, 1}) {
+		t.Errorf("histogram lost: %+v", hm)
+	}
+	st := back.Stage("pnr/exact")
+	if st == nil {
+		t.Fatal("stage lost")
+	}
+	// JSON numbers decode as float64.
+	if st.Attrs["w"] != float64(3) || st.Attrs["engine"] != "exact" {
+		t.Errorf("attrs lost: %+v", st.Attrs)
+	}
+	// Round-trip again: the decoded form must re-encode identically.
+	data2, err := back.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b any
+	if err := json.Unmarshal(data, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data2, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("JSON round-trip not stable")
+	}
+}
+
+func TestRenderTree(t *testing.T) {
+	tr := New()
+	root := tr.Start("flow")
+	sp := tr.Start("verify")
+	sp.SetAttr("conflicts", 7)
+	sp.End()
+	root.End()
+	out := tr.Report("x").RenderTree()
+	for _, want := range []string{"flow", "  verify", "conflicts=7", "ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tree output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+type recordSink struct {
+	mu    sync.Mutex
+	names []string
+}
+
+func (r *recordSink) SpanEnd(s *Span) {
+	r.mu.Lock()
+	r.names = append(r.names, s.Name())
+	r.mu.Unlock()
+}
+
+func TestSinkReceivesSpans(t *testing.T) {
+	tr := New()
+	sink := &recordSink{}
+	tr.SetSink(sink)
+	a := tr.Start("a")
+	b := tr.Start("b")
+	b.End()
+	a.End()
+	if !reflect.DeepEqual(sink.names, []string{"b", "a"}) {
+		t.Errorf("sink got %v", sink.names)
+	}
+}
+
+func TestConcurrentMetrics(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Counter("n").Inc()
+				tr.Histogram("h", 1, 10).Observe(float64(i % 20))
+				sp := tr.Start("worker")
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Counter("n").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := tr.Histogram("h").Count(); got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}

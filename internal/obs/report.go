@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RunReport is the machine-readable aggregate of one flow run: the span
+// tree with per-stage durations plus a snapshot of every registered metric.
+type RunReport struct {
+	// Name labels the run (typically the benchmark or design name).
+	Name string `json:"name"`
+	// StartedAt is the tracer creation time.
+	StartedAt time.Time `json:"started_at"`
+	// WallSeconds is the wall-clock time from tracer creation to report.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Stages is the root span forest in start order.
+	Stages []*StageReport `json:"stages,omitempty"`
+	// Metrics maps metric name to its final value.
+	Metrics map[string]MetricReport `json:"metrics,omitempty"`
+}
+
+// StageReport is one span rendered for the report.
+type StageReport struct {
+	Name     string         `json:"name"`
+	Seconds  float64        `json:"seconds"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+	Children []*StageReport `json:"children,omitempty"`
+}
+
+// MetricReport is a snapshot of a counter, gauge, or histogram.
+type MetricReport struct {
+	// Type is "counter", "gauge", or "histogram".
+	Type string `json:"type"`
+	// Value holds the counter or gauge value.
+	Value float64 `json:"value,omitempty"`
+	// Count and Sum summarize histogram observations.
+	Count int64   `json:"count,omitempty"`
+	Sum   float64 `json:"sum,omitempty"`
+	// Bounds are histogram bucket upper bounds; Buckets the per-bucket
+	// counts, with one extra trailing overflow bucket.
+	Bounds  []float64 `json:"bounds,omitempty"`
+	Buckets []int64   `json:"buckets,omitempty"`
+}
+
+// Report snapshots the tracer into a RunReport. Still-open spans report
+// their elapsed time so far. Nil tracers return nil.
+func (t *Tracer) Report(name string) *RunReport {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := &RunReport{
+		Name:        name,
+		StartedAt:   t.started,
+		WallSeconds: time.Since(t.started).Seconds(),
+		Metrics:     map[string]MetricReport{},
+	}
+	for _, sp := range t.roots {
+		r.Stages = append(r.Stages, stageReport(sp))
+	}
+	for n, c := range t.counters {
+		r.Metrics[n] = MetricReport{Type: "counter", Value: float64(c.Value())}
+	}
+	for n, g := range t.gauges {
+		r.Metrics[n] = MetricReport{Type: "gauge", Value: g.Value()}
+	}
+	for n, h := range t.histograms {
+		bounds, counts := h.Buckets()
+		r.Metrics[n] = MetricReport{
+			Type: "histogram", Count: h.Count(), Sum: h.Sum(),
+			Bounds: bounds, Buckets: counts,
+		}
+	}
+	return r
+}
+
+// stageReport converts a span subtree (caller holds the tracer lock).
+func stageReport(sp *Span) *StageReport {
+	st := &StageReport{Name: sp.name, Seconds: sp.durationLocked().Seconds()}
+	if len(sp.attrs) > 0 {
+		st.Attrs = make(map[string]any, len(sp.attrs))
+		for _, a := range sp.attrs {
+			st.Attrs[a.Key] = a.Value
+		}
+	}
+	for _, c := range sp.children {
+		st.Children = append(st.Children, stageReport(c))
+	}
+	return st
+}
+
+// JSON renders the report as indented JSON.
+func (r *RunReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// ParseReport decodes a JSON run report.
+func ParseReport(data []byte) (*RunReport, error) {
+	var r RunReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// Stage finds the first stage with the given name anywhere in the tree
+// (pre-order), or nil.
+func (r *RunReport) Stage(name string) *StageReport {
+	if r == nil {
+		return nil
+	}
+	var find func(ss []*StageReport) *StageReport
+	find = func(ss []*StageReport) *StageReport {
+		for _, s := range ss {
+			if s.Name == name {
+				return s
+			}
+			if hit := find(s.Children); hit != nil {
+				return hit
+			}
+		}
+		return nil
+	}
+	return find(r.Stages)
+}
+
+// Counter returns the value of a counter metric (0 when absent).
+func (r *RunReport) Counter(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	return int64(r.Metrics[name].Value)
+}
+
+// RenderTree renders the span forest as an indented per-stage timing tree
+// with attributes, suitable for human consumption on stderr.
+func (r *RunReport) RenderTree() string {
+	var b strings.Builder
+	var walk func(s *StageReport, depth int)
+	walk = func(s *StageReport, depth int) {
+		name := strings.Repeat("  ", depth) + s.Name
+		fmt.Fprintf(&b, "%-34s %10.3f ms", name, s.Seconds*1e3)
+		if len(s.Attrs) > 0 {
+			keys := make([]string, 0, len(s.Attrs))
+			for k := range s.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(&b, "  %s=%v", k, s.Attrs[k])
+			}
+		}
+		b.WriteByte('\n')
+		for _, c := range s.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, s := range r.Stages {
+		walk(s, 0)
+	}
+	return b.String()
+}

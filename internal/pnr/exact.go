@@ -8,6 +8,7 @@ import (
 	"repro/internal/gatelayout"
 	"repro/internal/gates"
 	"repro/internal/hexgrid"
+	"repro/internal/obs"
 	"repro/internal/sat"
 )
 
@@ -23,6 +24,9 @@ type ExactOptions struct {
 	// cut off the size is skipped, so the result may lose minimality but
 	// stays correct.
 	ConflictBudget int64
+	// Tracer receives size-search spans and SAT effort metrics; nil
+	// disables telemetry at no cost.
+	Tracer *obs.Tracer
 }
 
 // withDefaults fills unset fields.
@@ -50,6 +54,9 @@ func Exact(g *RGraph, opts ExactOptions) (*gatelayout.Layout, error) {
 		return nil, err
 	}
 	o := opts.withDefaults(g)
+	tr := o.Tracer
+	sp := tr.Start("pnr/exact")
+	defer sp.End()
 
 	// Lower bounds: every PI sits in row 0, every PO in the last row, and
 	// each edge advances exactly one row, so the height is the longest
@@ -91,9 +98,12 @@ func Exact(g *RGraph, opts ExactOptions) (*gatelayout.Layout, error) {
 		}
 		return cands[i].h < cands[j].h
 	})
+	sp.SetAttr("candidates", len(cands))
 	for _, d := range cands {
 		l, status := solveSize(g, d.w, d.h, o)
 		if status == sat.Sat {
+			sp.SetAttr("w", d.w)
+			sp.SetAttr("h", d.h)
 			return l, nil
 		}
 	}
@@ -157,8 +167,19 @@ func (e *exactEncoder) edgeRows(eid int) (int, int) {
 	return e.asap[ed.Src] + 1, e.alap[ed.Dst] - 1
 }
 
-// solveSize attempts one grid size.
-func solveSize(g *RGraph, w, h int, o ExactOptions) (*gatelayout.Layout, sat.Status) {
+// solveSize attempts one grid size, recording the (w, h) attempt and its
+// SAT outcome as a size-search span.
+func solveSize(g *RGraph, w, h int, o ExactOptions) (layout *gatelayout.Layout, status sat.Status) {
+	tr := o.Tracer
+	sp := tr.Start("pnr/exact/size")
+	defer func() {
+		sp.SetAttr("status", status.String())
+		sp.End()
+	}()
+	sp.SetAttr("w", w)
+	sp.SetAttr("h", h)
+	tr.Counter("pnr/exact/sizes_tried").Inc()
+
 	// ASAP levels and ALAP levels for this height.
 	asap := g.Levels()
 	alap := make([]int, len(g.Nodes))
@@ -177,6 +198,8 @@ func solveSize(g *RGraph, w, h int, o ExactOptions) (*gatelayout.Layout, sat.Sta
 	}
 	for n := range g.Nodes {
 		if asap[n] > alap[n] {
+			tr.Counter("pnr/exact/sizes_pruned").Inc()
+			sp.SetAttr("pruned", true)
 			return nil, sat.Unsat
 		}
 	}
@@ -194,7 +217,20 @@ func solveSize(g *RGraph, w, h int, o ExactOptions) (*gatelayout.Layout, sat.Sta
 	enc.lFalse = enc.s.NewVar()
 	enc.s.AddClause(enc.lFalse.Neg())
 	enc.build()
-	status := enc.s.Solve()
+	status = enc.s.Solve()
+	m := enc.s.Metrics()
+	sp.SetAttr("vars", enc.s.NumVars())
+	sp.SetAttr("clauses", enc.s.NumClauses())
+	sp.SetAttr("conflicts", m.Conflicts)
+	sp.SetAttr("decisions", m.Decisions)
+	sp.SetAttr("restarts", m.Restarts)
+	tr.Counter("sat/conflicts").Add(m.Conflicts)
+	tr.Counter("sat/decisions").Add(m.Decisions)
+	tr.Counter("sat/propagations").Add(m.Propagations)
+	tr.Counter("sat/restarts").Add(m.Restarts)
+	tr.Counter("sat/learned").Add(m.Learned)
+	tr.Histogram("pnr/exact/conflicts_per_size",
+		0, 10, 100, 1e3, 1e4, 1e5, 1e6).Observe(float64(m.Conflicts))
 	if status != sat.Sat {
 		return nil, status
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/gatelayout"
 	"repro/internal/gates"
 	"repro/internal/hexgrid"
+	"repro/internal/obs"
 )
 
 // side encodes the output side a signal leaves its tile by.
@@ -39,20 +40,32 @@ type ptile struct {
 
 // Ortho places and routes the graph with the greedy row-based fabric
 // router. The result uses the row-based clocking scheme; width and height
-// are whatever the greedy process needs.
-func Ortho(g *RGraph) (*gatelayout.Layout, error) {
+// are whatever the greedy process needs. A nil tracer disables telemetry
+// at no cost.
+func Ortho(g *RGraph, tr *obs.Tracer) (*gatelayout.Layout, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
-	r := &orthoRouter{g: g, placed: make([]bool, len(g.Nodes))}
-	return r.run()
+	sp := tr.Start("pnr/ortho")
+	defer sp.End()
+	r := &orthoRouter{g: g, placed: make([]bool, len(g.Nodes)), tr: tr}
+	l, err := r.run()
+	if err == nil {
+		sp.SetAttr("rows", len(r.rows))
+		sp.SetAttr("w", l.Width())
+		sp.SetAttr("h", l.Height())
+		sp.SetAttr("peak_tracks", r.peakTracks)
+	}
+	return l, err
 }
 
 type orthoRouter struct {
-	g      *RGraph
-	placed []bool
-	rows   [][]*ptile
-	tracks []track
+	g          *RGraph
+	placed     []bool
+	rows       [][]*ptile
+	tracks     []track
+	tr         *obs.Tracer
+	peakTracks int
 }
 
 // run drives the row loop.
@@ -73,6 +86,10 @@ func (r *orthoRouter) run() (*gatelayout.Layout, error) {
 		if rowIdx > maxRows {
 			return nil, fmt.Errorf("pnr: ortho router exceeded %d rows on %s (livelock?)", maxRows, g.Name)
 		}
+		if len(r.tracks) > r.peakTracks {
+			r.peakTracks = len(r.tracks)
+		}
+		r.tr.Counter("pnr/ortho/rows").Inc()
 		done, err := r.buildRow(rowIdx)
 		if err != nil {
 			return nil, err

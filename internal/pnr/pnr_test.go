@@ -91,7 +91,7 @@ func routeAndCheck(t *testing.T, name string) {
 	if err != nil {
 		t.Fatalf("%s: expand: %v", name, err)
 	}
-	l, err := Ortho(g)
+	l, err := Ortho(g, nil)
 	if err != nil {
 		t.Fatalf("%s: ortho: %v", name, err)
 	}
@@ -133,7 +133,7 @@ func TestOrthoBalancedPaths(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	l, err := Ortho(g)
+	l, err := Ortho(g, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +156,7 @@ func TestOrthoPOOrderMatchesSpec(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	l, err := Ortho(g)
+	l, err := Ortho(g, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +175,7 @@ func TestOrthoExtractNetworkEquivalent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	l, err := Ortho(g)
+	l, err := Ortho(g, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +225,7 @@ func TestExactBeatsOrthoOnArea(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lo, err := Ortho(g)
+	lo, err := Ortho(g, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -106,15 +106,45 @@ type Solver struct {
 	model     []lbool // snapshot of the last satisfying assignment
 	ok        bool    // false once a top-level conflict is found
 	claInc    float64 // clause activity increment
-	numLearnt int
 	maxLearnt int
-	conflicts int64
-	decisions int64
-	propsDone int64
+	m         Metrics
 
 	// MaxConflicts bounds the search effort; 0 means unlimited. When the
 	// bound is hit, Solve returns Unknown.
 	MaxConflicts int64
+}
+
+// Metrics counts the solver's search effort with named fields. The solver
+// updates the struct in place while solving; snapshot it with
+// Solver.Metrics at any time (typically after Solve returns).
+type Metrics struct {
+	// Conflicts is the number of conflicts encountered.
+	Conflicts int64 `json:"conflicts"`
+	// Decisions is the number of branching decisions made.
+	Decisions int64 `json:"decisions"`
+	// Propagations is the number of unit propagations performed.
+	Propagations int64 `json:"propagations"`
+	// Restarts is the number of Luby restarts taken.
+	Restarts int64 `json:"restarts"`
+	// Learned is the total number of learnt clauses added.
+	Learned int64 `json:"learned"`
+	// LearnedDeleted is the number of learnt clauses dropped by database
+	// reduction.
+	LearnedDeleted int64 `json:"learned_deleted"`
+	// LearnedDB is the current learnt-clause database size.
+	LearnedDB int64 `json:"learned_db"`
+}
+
+// Add accumulates another metrics snapshot into m (used to total effort
+// across several solver instances).
+func (m *Metrics) Add(o Metrics) {
+	m.Conflicts += o.Conflicts
+	m.Decisions += o.Decisions
+	m.Propagations += o.Propagations
+	m.Restarts += o.Restarts
+	m.Learned += o.Learned
+	m.LearnedDeleted += o.LearnedDeleted
+	m.LearnedDB += o.LearnedDB
 }
 
 // New returns an empty solver.
@@ -173,10 +203,8 @@ func (s *Solver) NumClauses() int {
 	return n
 }
 
-// Stats reports search statistics.
-func (s *Solver) Stats() (conflicts, decisions, propagations int64) {
-	return s.conflicts, s.decisions, s.propsDone
-}
+// Metrics returns a snapshot of the search-effort counters.
+func (s *Solver) Metrics() Metrics { return s.m }
 
 // value returns the current assignment of a literal.
 func (s *Solver) value(l Lit) lbool {
@@ -281,7 +309,7 @@ func (s *Solver) propagate() int {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead]
 		s.qhead++
-		s.propsDone++
+		s.m.Propagations++
 		wi := watchIdx(p)
 		ws := s.watches[wi]
 		kept := ws[:0]
@@ -366,7 +394,8 @@ func (s *Solver) reduceDB() {
 	})
 	for _, i := range cands[:len(cands)/2] {
 		s.clauses[i].deleted = true
-		s.numLearnt--
+		s.m.LearnedDB--
+		s.m.LearnedDeleted++
 	}
 }
 
@@ -495,7 +524,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	for {
 		if confl := s.propagate(); confl != -1 {
 			// Conflict.
-			s.conflicts++
+			s.m.Conflicts++
 			confsAtRestart++
 			if s.decisionLevel() == 0 {
 				s.ok = false
@@ -522,20 +551,22 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			} else {
 				c := &clause{lits: learnt, learnt: true, activity: s.claInc}
 				s.attach(c)
-				s.numLearnt++
+				s.m.Learned++
+				s.m.LearnedDB++
 				s.enqueue(learnt[0], len(s.clauses)-1)
 			}
 			s.varInc /= 0.95
 			s.claInc /= 0.999
-			if s.MaxConflicts > 0 && s.conflicts >= s.MaxConflicts {
+			if s.MaxConflicts > 0 && s.m.Conflicts >= s.MaxConflicts {
 				return Unknown
 			}
 			if confsAtRestart >= confBudget {
 				restarts++
+				s.m.Restarts++
 				confBudget = 100 * luby(restarts)
 				confsAtRestart = 0
 				s.cancelUntil(0)
-				if s.numLearnt > s.maxLearnt {
+				if s.m.LearnedDB > int64(s.maxLearnt) {
 					s.reduceDB()
 					s.maxLearnt += s.maxLearnt / 10
 				}
@@ -566,7 +597,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			s.model = append(s.model[:0], s.assign...)
 			return Sat
 		}
-		s.decisions++
+		s.m.Decisions++
 		s.trailLim = append(s.trailLim, len(s.trail))
 		l := Lit(v)
 		if !s.phase[v] {

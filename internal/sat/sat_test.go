@@ -350,15 +350,62 @@ func TestStatusString(t *testing.T) {
 	}
 }
 
-func TestStatsCounted(t *testing.T) {
+func TestMetricsCounted(t *testing.T) {
 	s := New()
 	a, b := s.NewVar(), s.NewVar()
 	s.AddClause(a, b)
 	s.AddClause(a.Neg(), b.Neg())
 	s.Solve()
-	_, d, _ := s.Stats()
-	if d == 0 {
-		t.Error("expected at least one decision")
+	if m := s.Metrics(); m.Decisions == 0 {
+		t.Errorf("expected at least one decision, metrics %+v", m)
+	}
+}
+
+// TestMetricsRestartsAndLearnedDB drives a hard pigeonhole instance far
+// enough that the solver restarts and learns clauses, checking the
+// named-field counters the old Stats() triple did not expose.
+func TestMetricsRestartsAndLearnedDB(t *testing.T) {
+	n := 7
+	s := New()
+	p := make([][]Lit, n+1)
+	for i := range p {
+		p[i] = make([]Lit, n)
+		for j := range p[i] {
+			p[i][j] = s.NewVar()
+		}
+	}
+	for i := 0; i <= n; i++ {
+		s.AddClause(p[i]...)
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i <= n; i++ {
+			for k := i + 1; k <= n; k++ {
+				s.AddClause(p[i][j].Neg(), p[k][j].Neg())
+			}
+		}
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("pigeonhole(%d) = %v, want Unsat", n, got)
+	}
+	m := s.Metrics()
+	if m.Conflicts == 0 || m.Decisions == 0 || m.Propagations == 0 {
+		t.Errorf("effort counters empty: %+v", m)
+	}
+	if m.Restarts == 0 {
+		t.Errorf("expected restarts on pigeonhole(%d): %+v", n, m)
+	}
+	if m.Learned == 0 {
+		t.Errorf("expected learnt clauses: %+v", m)
+	}
+	if m.LearnedDB != m.Learned-m.LearnedDeleted {
+		t.Errorf("learned DB accounting broken: %+v", m)
+	}
+	// Metrics accumulation helper.
+	var total Metrics
+	total.Add(m)
+	total.Add(m)
+	if total.Conflicts != 2*m.Conflicts || total.Restarts != 2*m.Restarts {
+		t.Errorf("Metrics.Add broken: %+v", total)
 	}
 }
 

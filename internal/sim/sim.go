@@ -20,6 +20,7 @@ import (
 	"math/rand"
 
 	"repro/internal/lattice"
+	"repro/internal/obs"
 	"repro/internal/sidb"
 )
 
@@ -226,6 +227,9 @@ type AnnealConfig struct {
 	Sweeps   int     // sweeps per restart
 	TStart   float64 // initial temperature in eV
 	TEnd     float64 // final temperature in eV
+	// Tracer receives annealing telemetry (restart/sweep/accepted-move
+	// counts and the best-energy trace); nil disables it at no cost.
+	Tracer *obs.Tracer
 }
 
 // DefaultAnnealConfig returns settings calibrated for Bestagon-tile-sized
@@ -237,6 +241,12 @@ func DefaultAnnealConfig() AnnealConfig {
 // Anneal runs simulated annealing over charge configurations and returns
 // the best configuration found. Deterministic for a given config.
 func (e *Engine) Anneal(cfg AnnealConfig) ([]bool, float64) {
+	tr := cfg.Tracer
+	sp := tr.Start("sim/anneal")
+	defer sp.End()
+	var accepted, flipsTried int64
+	var energyTrace []float64 // best energy after each restart
+
 	n := len(e.Sites)
 	var freeIdx []int
 	for i := 0; i < n; i++ {
@@ -274,7 +284,9 @@ func (e *Engine) Anneal(cfg AnnealConfig) ([]bool, float64) {
 			for range freeIdx {
 				i := freeIdx[rng.Intn(len(freeIdx))]
 				delta := e.flipDelta(cur, i)
+				flipsTried++
 				if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+					accepted++
 					cur[i] = !cur[i]
 					curE += delta
 					if curE < bestE-1e-15 {
@@ -301,6 +313,24 @@ func (e *Engine) Anneal(cfg AnnealConfig) ([]bool, float64) {
 			bestE = curE
 			copy(best, cur)
 		}
+		if tr != nil {
+			energyTrace = append(energyTrace, bestE)
+		}
+	}
+	if tr != nil {
+		sp.SetAttr("restarts", cfg.Restarts)
+		sp.SetAttr("sweeps", cfg.Sweeps)
+		sp.SetAttr("free_dots", len(freeIdx))
+		sp.SetAttr("flips_tried", flipsTried)
+		sp.SetAttr("accepted", accepted)
+		sp.SetAttr("best_energy", bestE)
+		sp.SetAttr("energy_trace", energyTrace)
+		tr.Counter("sim/anneal/runs").Inc()
+		tr.Counter("sim/anneal/restarts").Add(int64(cfg.Restarts))
+		tr.Counter("sim/anneal/sweeps").Add(int64(cfg.Restarts * cfg.Sweeps))
+		tr.Counter("sim/anneal/flips_tried").Add(flipsTried)
+		tr.Counter("sim/anneal/accepted").Add(accepted)
+		tr.Gauge("sim/anneal/best_energy").Set(bestE)
 	}
 	return best, bestE
 }

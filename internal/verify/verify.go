@@ -24,8 +24,10 @@ type Result struct {
 	// Counterexample holds a distinguishing input assignment (bit i = PI i)
 	// when Equivalent is false.
 	Counterexample uint32
-	// Conflicts is the SAT effort spent.
+	// Conflicts is the SAT effort spent (same as Metrics.Conflicts).
 	Conflicts int64
+	// Metrics is the full SAT search-effort breakdown of the miter solve.
+	Metrics sat.Metrics
 }
 
 // tseitin encodes an XAG into the solver, returning literals for each PO
@@ -104,10 +106,10 @@ func EquivalentNetworks(a, b *network.XAG) (Result, error) {
 	}
 	s.AddClause(xorLits...)
 	status := s.Solve()
-	conflicts, _, _ := s.Stats()
+	m := s.Metrics()
 	switch status {
 	case sat.Unsat:
-		return Result{Equivalent: true, Conflicts: conflicts}, nil
+		return Result{Equivalent: true, Conflicts: m.Conflicts, Metrics: m}, nil
 	case sat.Sat:
 		var cex uint32
 		for i, l := range piLits {
@@ -115,7 +117,7 @@ func EquivalentNetworks(a, b *network.XAG) (Result, error) {
 				cex |= 1 << i
 			}
 		}
-		return Result{Equivalent: false, Counterexample: cex, Conflicts: conflicts}, nil
+		return Result{Equivalent: false, Counterexample: cex, Conflicts: m.Conflicts, Metrics: m}, nil
 	default:
 		return Result{}, fmt.Errorf("verify: SAT solver returned %v", status)
 	}

@@ -164,7 +164,7 @@ func TestEquivalentLayoutAllBenchmarks(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		l, err := pnr.Ortho(g)
+		l, err := pnr.Ortho(g, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -191,7 +191,7 @@ func TestEquivalentLayoutCatchesCorruption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	l, err := pnr.Ortho(g)
+	l, err := pnr.Ortho(g, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
