@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race bench table1 clean
+.PHONY: all build test check race bench bench-sim table1 clean
 
 all: build
 
@@ -12,14 +12,27 @@ test:
 
 # check is the pre-merge gate: static analysis plus the full test suite
 # under the race detector (short mode keeps the instrumented annealer and
-# SAT race coverage while skipping the hour-long exhaustive sweeps).
+# SAT race coverage while skipping the hour-long exhaustive sweeps). The
+# second test run drives the sharded QuickExact search and the parallel
+# operational-domain sweep — the two many-goroutine hot paths — through
+# their full (non-short) tests under the race detector.
 check:
 	$(GO) vet ./...
 	$(GO) test -race -short ./...
+	$(GO) test -race -run 'TestDeterministicAcrossRunsAndWorkers|TestLargeInstanceExact|TestParallelMatchesSerial|TestSweepMetrics' \
+		./internal/sim/quickexact ./internal/opdomain
 
 # race runs the complete suite under the race detector (slow).
 race:
 	$(GO) test -race ./...
+
+# bench-sim compares the ground-state engines (blind ExGS enumeration vs
+# pruned QuickExact branch-and-bound vs annealing) and records the raw
+# test2json event stream in BENCH_sim.json.
+bench-sim:
+	$(GO) test -run '^$$' -bench GroundState -benchmem -json ./internal/sim/... > BENCH_sim.json
+	@grep -o '[^"]* ns/op[^"\\]*' BENCH_sim.json | sed 's/\\t/  /g' || true
+	@echo "wrote BENCH_sim.json"
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

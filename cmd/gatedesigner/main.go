@@ -12,12 +12,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/designer"
 	"repro/internal/gatelib"
 	"repro/internal/lattice"
 	"repro/internal/sidb"
 	"repro/internal/sim"
+
+	// Register the pruned exact ground-state backend for -solver.
+	_ "repro/internal/sim/quickexact"
 )
 
 func main() {
@@ -28,6 +32,7 @@ func main() {
 		iterations = flag.Int("iterations", 300, "local moves per restart")
 		maxDots    = flag.Int("max-dots", 4, "maximum canvas dots")
 		mu         = flag.Float64("mu", sim.ParamsFig5.MuMinus, "transition level mu_ in eV")
+		solver     = flag.String("solver", "", "ground-state solver for candidate evaluation: "+strings.Join(sim.SolverNames(), ", ")+" (default auto)")
 	)
 	flag.Parse()
 
@@ -39,6 +44,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gatedesigner:", err)
 		os.Exit(2)
 	}
+	if _, err := sim.Lookup(*solver); err != nil {
+		fmt.Fprintln(os.Stderr, "gatedesigner:", err)
+		os.Exit(2)
+	}
+	tpl.Solver = *solver
 	cands := designer.Grid(20, 12, 40, 32, 2, tpl.Fixed, 0.6)
 	opts := designer.Options{
 		Seed: *seed, Restarts: *restarts, Iterations: *iterations,

@@ -16,6 +16,10 @@ import (
 	"repro/internal/logic/bench"
 	"repro/internal/obs"
 	"repro/internal/pnr"
+	"repro/internal/sim"
+
+	// Register the pruned exact ground-state backend for -solver/-cellsim.
+	_ "repro/internal/sim/quickexact"
 )
 
 func main() {
@@ -25,10 +29,16 @@ func main() {
 		maxArea = flag.Int("max-area", 0, "maximum explored tile area for exact search")
 		only    = flag.String("only", "", "run a single benchmark")
 		timings = flag.Bool("timings", true, "print per-benchmark stage timings")
+		cellSim = flag.Bool("cellsim", false, "ground-state simulate each final SiDB layout")
+		solver  = flag.String("solver", "", "ground-state solver for -cellsim: "+strings.Join(sim.SolverNames(), ", ")+" (default auto)")
 	)
 	flag.Parse()
 
-	opts := core.Options{Exact: pnr.ExactOptions{ConflictBudget: *budget, MaxArea: *maxArea}}
+	opts := core.Options{
+		Exact:        pnr.ExactOptions{ConflictBudget: *budget, MaxArea: *maxArea},
+		CellSim:      *cellSim,
+		GroundSolver: *solver,
+	}
 	switch *engine {
 	case "auto":
 		opts.Engine = core.EngineAuto
@@ -67,6 +77,14 @@ func main() {
 			l.Width(), l.Height(), l.Area(), res.SiDBs,
 			b.PaperW, b.PaperH, b.PaperW*b.PaperH, b.PaperSiDBs,
 			res.AreaNM2, b.PaperArea, res.EngineUsed)
+		if res.CellSim != nil {
+			kind := "best-found"
+			if res.CellSim.Exact {
+				kind = "exact"
+			}
+			fmt.Printf("      cell sim: E = %.6f eV (%s, %s solver, %d free dots)\n",
+				res.CellSim.EnergyEV, kind, res.CellSim.Solver, res.CellSim.FreeDots)
+		}
 		if tr != nil {
 			fmt.Printf("      %s\n", stageTimings(tr.Report(b.Name)))
 		}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestRunCellSim exercises flow step 7½: a full-circuit layout has far
+// more free dots than any exact engine handles, so automatic dispatch
+// must anneal, record the outcome, and emit the cellsim stage span.
+func TestRunCellSim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-layout annealing is slow")
+	}
+	tr := obs.New()
+	res, err := RunBenchmark("mux21", Options{CellSim: true, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := res.CellSim
+	if cs == nil {
+		t.Fatal("CellSim requested but Result.CellSim is nil")
+	}
+	if cs.Solver == "" || cs.FreeDots == 0 {
+		t.Errorf("cell sim result incomplete: %+v", cs)
+	}
+	if cs.EnergyEV >= 0 {
+		t.Errorf("charged layout energy must be negative, got %v", cs.EnergyEV)
+	}
+	rep := tr.Report("mux21")
+	if rep.Stage("cellsim") == nil {
+		t.Error("report missing cellsim stage")
+	}
+}
+
+// TestRunCellSimUnknownSolver must fail loudly, not silently skip.
+func TestRunCellSimUnknownSolver(t *testing.T) {
+	_, err := RunBenchmark("mux21", Options{CellSim: true, GroundSolver: "no-such-solver"})
+	if err == nil || !strings.Contains(err.Error(), "unknown ground-state solver") {
+		t.Fatalf("want unknown-solver error, got %v", err)
+	}
+}

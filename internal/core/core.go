@@ -28,6 +28,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pnr"
 	"repro/internal/sidb"
+	"repro/internal/sim"
 	"repro/internal/sqd"
 	"repro/internal/verify"
 )
@@ -61,9 +62,29 @@ type Options struct {
 	SkipCellLevel bool
 	// Library is the gate library to apply; nil uses the default library.
 	Library *gatelib.Library
+	// CellSim runs a ground-state simulation of the final cell-level SiDB
+	// layout (flow step 7½) and records the outcome in Result.CellSim.
+	CellSim bool
+	// GroundSolver names the sim ground-state solver used by CellSim
+	// ("" = automatic dispatch; see sim.SolverNames). Pruned exact
+	// backends such as "quickexact" must be linked in (blank import) to
+	// be selectable.
+	GroundSolver string
 	// Tracer receives flow-wide telemetry (stage spans, engine metrics);
 	// nil disables instrumentation with zero overhead.
 	Tracer *obs.Tracer
+}
+
+// CellSimResult is the whole-layout ground-state simulation outcome.
+type CellSimResult struct {
+	// Solver names the backend that produced the result.
+	Solver string
+	// Exact reports whether the energy is provably minimal.
+	Exact bool
+	// FreeDots is the number of non-pinned dots simulated.
+	FreeDots int
+	// EnergyEV is the ground-state (or best-found) energy.
+	EnergyEV float64
 }
 
 // Result collects every artifact of a flow run.
@@ -82,6 +103,9 @@ type Result struct {
 	// CellLayout is the dot-accurate SiDB layout (flow step 7); nil when
 	// SkipCellLevel is set.
 	CellLayout *sidb.Layout
+	// CellSim is the optional whole-layout ground-state simulation
+	// outcome; nil unless Options.CellSim was set.
+	CellSim *CellSimResult
 	// SiDBs counts the dangling bonds of the cell-level layout.
 	SiDBs int
 	// AreaNM2 is the Table 1 layout area.
@@ -196,6 +220,39 @@ func Run(spec *network.XAG, opts Options) (*Result, error) {
 		res.SiDBs = cell.NumDots()
 		tr.Gauge("flow/sidbs").Set(float64(res.SiDBs))
 		root.SetAttr("sidbs", res.SiDBs)
+
+		// (7½) optional whole-layout ground-state simulation.
+		if opts.CellSim {
+			solver, err := sim.Lookup(opts.GroundSolver)
+			if err != nil {
+				return res, fmt.Errorf("core: cell simulation: %w", err)
+			}
+			sp = tr.Start("cellsim")
+			eng := sim.NewEngine(cell, sim.ParamsFig5)
+			free := len(eng.FreeIndices())
+			sol, serr := solver.Solve(eng, sim.SolveOptions{Tracer: tr})
+			if serr != nil {
+				// An exact backend that gives up (enumeration limit, node
+				// budget) degrades to annealing rather than failing the
+				// whole flow.
+				cfg := sim.DefaultAnnealConfig()
+				cfg.Tracer = tr
+				gs, en := eng.Anneal(cfg)
+				sol = sim.Solution{Charges: gs, EnergyEV: en, Solver: "anneal"}
+			}
+			res.CellSim = &CellSimResult{
+				Solver:   sol.Solver,
+				Exact:    sol.Exact,
+				FreeDots: free,
+				EnergyEV: sol.EnergyEV,
+			}
+			sp.SetAttr("solver", sol.Solver)
+			sp.SetAttr("exact", sol.Exact)
+			sp.SetAttr("free_dots", free)
+			sp.SetAttr("energy_ev", sol.EnergyEV)
+			sp.End()
+			tr.Gauge("flow/cellsim_energy_ev").Set(sol.EnergyEV)
+		}
 	}
 	return res, nil
 }

@@ -38,6 +38,10 @@ type Template struct {
 	Target func(pattern uint32) uint32
 	// Params are the simulation parameters for validation.
 	Params sim.Params
+	// Solver names the sim ground-state solver used for evaluation
+	// ("" = automatic dispatch; see sim.SolverNames). UseAnneal overrides
+	// it.
+	Solver string
 	// UseAnneal forces simulated-annealing ground-state search during
 	// evaluation even when exhaustive search would be possible; used to
 	// keep large full-tile refinements fast (final designs are re-verified
@@ -101,6 +105,12 @@ func Evaluate(t *Template, canvas []lattice.Site) Candidate {
 		var gs []bool
 		if t.UseAnneal {
 			gs, _ = eng.Anneal(sim.DefaultAnnealConfig())
+		} else if solver, err := sim.Lookup(t.Solver); err == nil {
+			if sol, serr := solver.Solve(eng, sim.SolveOptions{}); serr == nil {
+				gs = sol.Charges
+			} else {
+				gs, _ = eng.Anneal(sim.DefaultAnnealConfig())
+			}
 		} else {
 			gs, _ = eng.GroundState()
 		}

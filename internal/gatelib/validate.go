@@ -6,6 +6,7 @@ import (
 	"repro/internal/gates"
 
 	"repro/internal/lattice"
+	"repro/internal/obs"
 	"repro/internal/sidb"
 	"repro/internal/sim"
 )
@@ -72,14 +73,38 @@ type Validation struct {
 	// best differing-output configuration (exhaustive cases only; 0
 	// otherwise).
 	MinGapEV float64
-	// Method is "exgs" or "anneal".
+	// Method names the ground-state solver that produced the outputs
+	// ("exgs", "quickexact", "anneal", ...).
 	Method string
+}
+
+// ValidateOptions tunes Validate.
+type ValidateOptions struct {
+	// Solver names the sim ground-state solver ("" = automatic dispatch;
+	// see sim.SolverNames).
+	Solver string
+	// Tracer receives concurrency-safe solver metrics; nil disables them.
+	Tracer *obs.Tracer
 }
 
 // Validate simulates the design standalone for every input pattern and
 // compares the outputs with the truth function (bit i of the argument is
-// input i; bit j of the result is output j).
+// input i; bit j of the result is output j). The ground-state solver is
+// chosen automatically; use ValidateWith to select one explicitly.
 func Validate(d *Design, truth func(uint32) uint32, params sim.Params) Validation {
+	v, _ := ValidateWith(d, truth, params, ValidateOptions{})
+	return v
+}
+
+// ValidateWith is Validate with an explicit solver choice. It fails only
+// on an unknown solver name; a solver that cannot handle an instance
+// (e.g. ExGS beyond its enumeration limit) degrades to annealing for that
+// pattern.
+func ValidateWith(d *Design, truth func(uint32) uint32, params sim.Params, opts ValidateOptions) (Validation, error) {
+	solver, err := sim.Lookup(opts.Solver)
+	if err != nil {
+		return Validation{}, err
+	}
 	nIn := len(d.Ins)
 	patterns := 1 << nIn
 	v := Validation{OK: true, Outputs: make([]int, patterns), MinGapEV: 1e9}
@@ -117,9 +142,9 @@ func Validate(d *Design, truth func(uint32) uint32, params sim.Params) Validatio
 		}
 		eng := sim.NewEngine(l, params)
 		var gs []bool
-		if free <= sim.ExactLimit {
-			gs, _ = eng.Exhaustive()
-			v.Method = "exgs"
+		if sol, serr := solver.Solve(eng, sim.SolveOptions{Tracer: opts.Tracer}); serr == nil {
+			gs = sol.Charges
+			v.Method = sol.Solver
 		} else {
 			gs, _ = eng.Anneal(sim.DefaultAnnealConfig())
 			v.Method = "anneal"
@@ -160,7 +185,7 @@ func Validate(d *Design, truth func(uint32) uint32, params sim.Params) Validatio
 	if v.MinGapEV == 1e9 {
 		v.MinGapEV = 0
 	}
-	return v
+	return v, nil
 }
 
 // String summarizes the validation.

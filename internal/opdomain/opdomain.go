@@ -13,9 +13,12 @@ package opdomain
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/gatelib"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -70,31 +73,88 @@ func (d *Domain) OperationalFraction() float64 {
 	return float64(ok) / float64(len(d.Points))
 }
 
+// Options tunes a sweep evaluation.
+type Options struct {
+	// Workers bounds the evaluation worker pool; <= 0 uses GOMAXPROCS.
+	Workers int
+	// Solver names the sim ground-state solver used per parameter point
+	// ("" = automatic dispatch; see sim.SolverNames).
+	Solver string
+	// Tracer receives concurrency-safe sweep metrics; nil disables them.
+	Tracer *obs.Tracer
+}
+
 // Analyze sweeps the parameter grid for a tile design against its truth
-// function.
+// function, evaluating parameter points in parallel with default options.
 func Analyze(d *gatelib.Design, truth func(uint32) uint32, sweep Sweep) *Domain {
-	dom := &Domain{Design: d.Name}
+	return AnalyzeOpts(d, truth, sweep, Options{})
+}
+
+// AnalyzeOpts is Analyze with an explicit worker pool size and solver
+// choice. Parameter points are evaluated concurrently by a bounded worker
+// pool, but the result ordering is deterministic: points appear in
+// row-major grid order (μ_ outer, ε_r inner) regardless of scheduling.
+func AnalyzeOpts(d *gatelib.Design, truth func(uint32) uint32, sweep Sweep, opts Options) *Domain {
+	grid := make([]sim.Params, 0, sweep.MuSteps*sweep.EpsSteps)
 	for i := 0; i < sweep.MuSteps; i++ {
 		mu := interp(sweep.MuMin, sweep.MuMax, i, sweep.MuSteps)
 		for j := 0; j < sweep.EpsSteps; j++ {
 			eps := interp(sweep.EpsMin, sweep.EpsMax, j, sweep.EpsSteps)
-			params := sim.Params{MuMinus: mu, EpsR: eps, LambdaTF: sweep.LambdaTF}
-			v := gatelib.Validate(d, truth, params)
-			correct := 0
-			for p, out := range v.Outputs {
-				if out >= 0 && uint32(out) == truth(uint32(p)) {
-					correct++
-				}
-			}
-			dom.Points = append(dom.Points, Point{
-				Params:      params,
-				Operational: v.OK,
-				Correct:     correct,
-				Patterns:    len(v.Outputs),
-			})
+			grid = append(grid, sim.Params{MuMinus: mu, EpsR: eps, LambdaTF: sweep.LambdaTF})
 		}
 	}
+	dom := &Domain{Design: d.Name, Points: make([]Point, len(grid))}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(grid) {
+		workers = len(grid)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				dom.Points[i] = evaluatePoint(d, truth, grid[i], opts)
+			}
+		}()
+	}
+	for i := range grid {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	opts.Tracer.Counter("opdomain/points").Add(int64(len(grid)))
+	opts.Tracer.Gauge("opdomain/last_workers").Set(float64(workers))
 	return dom
+}
+
+// evaluatePoint validates the design at one parameter point.
+func evaluatePoint(d *gatelib.Design, truth func(uint32) uint32, params sim.Params, opts Options) Point {
+	v, err := gatelib.ValidateWith(d, truth, params, gatelib.ValidateOptions{Solver: opts.Solver, Tracer: opts.Tracer})
+	if err != nil {
+		// Unknown solver: fall back to automatic dispatch rather than
+		// silently dropping the point.
+		v = gatelib.Validate(d, truth, params)
+	}
+	correct := 0
+	for p, out := range v.Outputs {
+		if out >= 0 && uint32(out) == truth(uint32(p)) {
+			correct++
+		}
+	}
+	return Point{
+		Params:      params,
+		Operational: v.OK,
+		Correct:     correct,
+		Patterns:    len(v.Outputs),
+	}
 }
 
 // interp linearly interpolates step i of n between lo and hi.

@@ -1,0 +1,289 @@
+package quickexact
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sidb"
+	"repro/internal/sim"
+)
+
+func TestMatchesExhaustiveRandom(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + int(seed)%13
+		perturbers := int(seed) % 3
+		l := &sidb.Layout{}
+		seen := map[[2]int]bool{}
+		for i := 0; i < n; i++ {
+			for {
+				x, y := rng.Intn(30), rng.Intn(30)
+				if !seen[[2]int{x, y}] {
+					seen[[2]int{x, y}] = true
+					role := sidb.RoleNormal
+					if i < perturbers {
+						role = sidb.RolePerturber
+					}
+					l.AddCell(x, y, role)
+					break
+				}
+			}
+		}
+		params := sim.ParamsFig5
+		if seed%2 == 1 {
+			params = sim.ParamsFig1c
+		}
+		eng := sim.NewEngine(l, params)
+		_, want, err := eng.ExhaustiveChecked()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		gs, got, st, err := GroundState(eng, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("seed %d: quickexact %v != exhaustive %v (stats %+v)", seed, got, want, st)
+		}
+		if e := eng.Energy(gs); math.Abs(e-got) > 1e-12 {
+			t.Errorf("seed %d: reported energy %v != config energy %v", seed, got, e)
+		}
+		if !eng.PopulationStable(gs) {
+			t.Errorf("seed %d: ground state not population stable", seed)
+		}
+	}
+}
+
+func TestLargeInstanceExact(t *testing.T) {
+	// 32 free dots: infeasible for ExGS (2^32 configurations) but solved
+	// exactly by the pruned search. Annealing must never beat the proven
+	// minimum, and the result must be population stable.
+	rng := rand.New(rand.NewSource(42))
+	l := &sidb.Layout{}
+	seen := map[[2]int]bool{}
+	for i := 0; i < 32; i++ {
+		for {
+			x, y := rng.Intn(48), rng.Intn(48)
+			if !seen[[2]int{x, y}] {
+				seen[[2]int{x, y}] = true
+				l.AddCell(x, y, sidb.RoleNormal)
+				break
+			}
+		}
+	}
+	eng := sim.NewEngine(l, sim.ParamsFig5)
+	gs, en, st, err := GroundState(eng, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FreeDots != 32 {
+		t.Fatalf("free dots = %d", st.FreeDots)
+	}
+	if !eng.PopulationStable(gs) {
+		t.Error("ground state not population stable")
+	}
+	_, annealed := eng.Anneal(sim.DefaultAnnealConfig())
+	if annealed < en-1e-9 {
+		t.Errorf("anneal %v beats quickexact %v — search is not exact", annealed, en)
+	}
+	t.Logf("32 free dots: E=%.6f eV, %d undecided after presolve, %d nodes, %d bound-pruned, %d stability-pruned",
+		en, st.Undecided, st.Nodes, st.BoundPruned, st.StabilityPruned)
+}
+
+func TestDeterministicAcrossRunsAndWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	l := &sidb.Layout{}
+	seen := map[[2]int]bool{}
+	for i := 0; i < 20; i++ {
+		for {
+			x, y := rng.Intn(36), rng.Intn(36)
+			if !seen[[2]int{x, y}] {
+				seen[[2]int{x, y}] = true
+				l.AddCell(x, y, sidb.RoleNormal)
+				break
+			}
+		}
+	}
+	eng := sim.NewEngine(l, sim.ParamsFig5)
+	var cfgs [][]bool
+	var energies []float64
+	for _, w := range []int{1, 1, 4, 8} {
+		gs, en, _, err := GroundState(eng, Options{Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfgs = append(cfgs, gs)
+		energies = append(energies, en)
+	}
+	for i := 1; i < len(cfgs); i++ {
+		if energies[i] != energies[0] {
+			t.Errorf("run %d: energy %v != %v", i, energies[i], energies[0])
+		}
+		for j := range cfgs[i] {
+			if cfgs[i][j] != cfgs[0][j] {
+				t.Errorf("run %d: configuration differs at dot %d", i, j)
+				break
+			}
+		}
+	}
+}
+
+func TestPerturbersStayPinned(t *testing.T) {
+	l := &sidb.Layout{}
+	l.AddCell(0, 0, sidb.RolePerturber)
+	l.AddCell(1, 1, sidb.RolePerturber)
+	l.AddCell(10, 10, sidb.RoleNormal)
+	eng := sim.NewEngine(l, sim.ParamsFig5)
+	gs, _, _, err := GroundState(eng, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gs[0] || !gs[1] {
+		t.Error("perturbers must stay charged")
+	}
+}
+
+func TestAllFixedAndEmpty(t *testing.T) {
+	l := &sidb.Layout{}
+	l.AddCell(0, 0, sidb.RolePerturber)
+	l.AddCell(5, 5, sidb.RolePerturber)
+	eng := sim.NewEngine(l, sim.ParamsFig5)
+	gs, en, st, err := GroundState(eng, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FreeDots != 0 || len(gs) != 2 || !gs[0] || !gs[1] {
+		t.Errorf("all-fixed solve wrong: %v %v %+v", gs, en, st)
+	}
+	if math.Abs(en-eng.Energy(gs)) > 1e-12 {
+		t.Error("all-fixed energy inconsistent")
+	}
+
+	empty := sim.NewEngine(&sidb.Layout{}, sim.ParamsFig5)
+	gs, en, _, err = GroundState(empty, Options{})
+	if err != nil || len(gs) != 0 || en != 0 {
+		t.Errorf("empty layout: gs=%v en=%v err=%v", gs, en, err)
+	}
+}
+
+func TestNodeBudgetExhaustion(t *testing.T) {
+	// A dense cluster with a hopeless budget must fail loudly, not hang or
+	// return a silently inexact result.
+	rng := rand.New(rand.NewSource(3))
+	l := &sidb.Layout{}
+	seen := map[[2]int]bool{}
+	for i := 0; i < 24; i++ {
+		for {
+			x, y := rng.Intn(20), rng.Intn(20)
+			if !seen[[2]int{x, y}] {
+				seen[[2]int{x, y}] = true
+				l.AddCell(x, y, sidb.RoleNormal)
+				break
+			}
+		}
+	}
+	eng := sim.NewEngine(l, sim.ParamsFig5)
+	_, _, _, err := GroundState(eng, Options{NodeBudget: 1})
+	if err == nil {
+		// The budget is only checked every 1024 nodes; an instance solved
+		// in fewer nodes legitimately succeeds. Verify the search stayed
+		// tiny in that case.
+		_, _, st, _ := GroundState(eng, Options{})
+		if st.Nodes > 2048 {
+			t.Errorf("expected budget exhaustion error on %d-node search", st.Nodes)
+		}
+	}
+}
+
+func TestSolverRegistered(t *testing.T) {
+	s, err := sim.Lookup("quickexact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsExact() || s.Name() != "quickexact" {
+		t.Error("quickexact solver metadata wrong")
+	}
+	l := &sidb.Layout{}
+	l.AddCell(0, 0, sidb.RoleNormal)
+	l.AddCell(6, 0, sidb.RoleNormal)
+	eng := sim.NewEngine(l, sim.ParamsFig5)
+	sol, err := s.Solve(eng, sim.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, want, _ := eng.ExhaustiveChecked()
+	if math.Abs(sol.EnergyEV-want) > 1e-12 || sol.Solver != "quickexact" || !sol.Exact {
+		t.Errorf("solver solution wrong: %+v want energy %v", sol, want)
+	}
+
+	// With quickexact linked in, the automatic dispatcher must route exact
+	// instances through it.
+	auto, _ := sim.Lookup("auto")
+	sol, err = auto.Solve(eng, sim.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Solver != "quickexact" {
+		t.Errorf("auto dispatched to %q, want quickexact", sol.Solver)
+	}
+}
+
+func TestGroundStateRoutesThroughRegistry(t *testing.T) {
+	// Engine.GroundState must agree with the registered exact backend.
+	rng := rand.New(rand.NewSource(21))
+	l := &sidb.Layout{}
+	seen := map[[2]int]bool{}
+	for i := 0; i < 10; i++ {
+		for {
+			x, y := rng.Intn(30), rng.Intn(30)
+			if !seen[[2]int{x, y}] {
+				seen[[2]int{x, y}] = true
+				l.AddCell(x, y, sidb.RoleNormal)
+				break
+			}
+		}
+	}
+	eng := sim.NewEngine(l, sim.ParamsFig5)
+	_, en := eng.GroundState()
+	_, want, _ := eng.ExhaustiveChecked()
+	if math.Abs(en-want) > 1e-9 {
+		t.Errorf("GroundState %v != exhaustive %v", en, want)
+	}
+}
+
+func TestStatsAndTracerMetrics(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	l := &sidb.Layout{}
+	seen := map[[2]int]bool{}
+	for i := 0; i < 14; i++ {
+		for {
+			x, y := rng.Intn(30), rng.Intn(30)
+			if !seen[[2]int{x, y}] {
+				seen[[2]int{x, y}] = true
+				l.AddCell(x, y, sidb.RoleNormal)
+				break
+			}
+		}
+	}
+	eng := sim.NewEngine(l, sim.ParamsFig5)
+	tr := obs.New()
+	_, _, st, err := GroundState(eng, Options{Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FreeDots != 14 || st.Nodes == 0 {
+		t.Errorf("stats incomplete: %+v", st)
+	}
+	if st.PresolveCharged+st.PresolveNeutral+st.Undecided != 14 {
+		t.Errorf("presolve + undecided must cover all free dots: %+v", st)
+	}
+	rep := tr.Report("t")
+	if rep.Counter("sim/quickexact/solves") != 1 {
+		t.Error("solve counter missing")
+	}
+	if rep.Counter("sim/quickexact/nodes") != st.Nodes {
+		t.Errorf("node counter %d != stats %d", rep.Counter("sim/quickexact/nodes"), st.Nodes)
+	}
+}

@@ -95,6 +95,21 @@ func NewEngine(l *sidb.Layout, params Params) *Engine {
 // NumDots returns the number of dots.
 func (e *Engine) NumDots() int { return len(e.Sites) }
 
+// IsFixed reports whether dot i is pinned to the negative charge state
+// (a perturber).
+func (e *Engine) IsFixed(i int) bool { return e.fixed[i] }
+
+// FreeIndices returns the indices of all non-pinned dots.
+func (e *Engine) FreeIndices() []int {
+	var out []int
+	for i, f := range e.fixed {
+		if !f {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
 // Energy returns the total configuration energy in eV: pairwise repulsion
 // of charged dots plus μ_ per charged dot.
 func (e *Engine) Energy(charged []bool) float64 {
@@ -148,18 +163,13 @@ func (e *Engine) PopulationStable(charged []bool) bool {
 	return true
 }
 
-// GroundState finds a minimum-energy configuration. Exhaustive search is
-// used up to ExactLimit free dots; otherwise simulated annealing with
-// deterministic restarts.
+// GroundState finds a minimum-energy configuration. The search is routed
+// through the automatic solver dispatcher (see Auto): a registered pruned
+// exact engine when available, exhaustive enumeration up to ExactLimit free
+// dots, and simulated annealing with deterministic restarts beyond that.
 func (e *Engine) GroundState() ([]bool, float64) {
-	free := 0
-	for _, f := range e.fixed {
-		if !f {
-			free++
-		}
-	}
-	if free <= ExactLimit {
-		return e.Exhaustive()
+	if sol, err := Auto().Solve(e, SolveOptions{}); err == nil {
+		return sol.Charges, sol.EnergyEV
 	}
 	return e.Anneal(DefaultAnnealConfig())
 }
@@ -168,8 +178,21 @@ func (e *Engine) GroundState() ([]bool, float64) {
 const ExactLimit = 22
 
 // Exhaustive enumerates all charge configurations of the free dots and
-// returns a minimum-energy configuration (SiQAD's ExGS equivalent).
+// returns a minimum-energy configuration (SiQAD's ExGS equivalent). When
+// the instance exceeds the 63-free-dot enumeration capability it degrades
+// to simulated annealing; use ExhaustiveChecked to detect that case.
 func (e *Engine) Exhaustive() ([]bool, float64) {
+	gs, en, err := e.ExhaustiveChecked()
+	if err != nil {
+		return e.Anneal(DefaultAnnealConfig())
+	}
+	return gs, en
+}
+
+// ExhaustiveChecked enumerates all charge configurations of the free dots
+// and returns a minimum-energy configuration, or an error when the
+// instance exceeds the enumeration capability.
+func (e *Engine) ExhaustiveChecked() ([]bool, float64, error) {
 	n := len(e.Sites)
 	var freeIdx []int
 	for i := 0; i < n; i++ {
@@ -178,7 +201,7 @@ func (e *Engine) Exhaustive() ([]bool, float64) {
 		}
 	}
 	if len(freeIdx) > 63 {
-		panic(fmt.Sprintf("sim: %d free dots exceed exhaustive capability", len(freeIdx)))
+		return nil, 0, fmt.Errorf("sim: %d free dots exceed exhaustive capability", len(freeIdx))
 	}
 	base := make([]bool, n)
 	for i := range base {
@@ -208,7 +231,7 @@ func (e *Engine) Exhaustive() ([]bool, float64) {
 			copy(best, cur)
 		}
 	}
-	return best, bestE
+	return best, bestE, nil
 }
 
 // flipDelta returns the energy change of flipping dot i's charge.

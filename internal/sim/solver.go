@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Solution is the outcome of a ground-state solve: a charge configuration
+// (indexed like the layout's dots) and its total energy.
+type Solution struct {
+	Charges  []bool
+	EnergyEV float64
+	// Solver names the backend that produced the solution ("exgs",
+	// "quickexact", "anneal", ...).
+	Solver string
+	// Exact reports whether the energy is provably minimal.
+	Exact bool
+}
+
+// SolveOptions carries per-call settings into a solver. The tracer is used
+// for concurrency-safe metrics only (counters, gauges, histograms) — never
+// spans — so solvers may safely run from parallel workers sharing one
+// tracer (spans nest on a single implicit stack and are not meant for
+// concurrent regions).
+type SolveOptions struct {
+	Tracer *obs.Tracer
+}
+
+// GroundStateSolver is a pluggable ground-state search backend.
+// Implementations must be safe for concurrent use by multiple goroutines
+// and deterministic for a fixed engine and options.
+type GroundStateSolver interface {
+	// Name is the registry key ("exgs", "quickexact", "anneal", "auto").
+	Name() string
+	// IsExact reports whether the solver proves minimality of its result.
+	IsExact() bool
+	// Solve finds a ground state of the engine's layout.
+	Solve(e *Engine, opts SolveOptions) (Solution, error)
+}
+
+var (
+	solversMu sync.RWMutex
+	solvers   = map[string]GroundStateSolver{}
+)
+
+// Register makes a solver selectable by name, replacing any previous
+// solver with the same name. Backend packages call it from init, so blank
+// importing a backend enables it (database/sql driver style):
+//
+//	import _ "repro/internal/sim/quickexact"
+func Register(s GroundStateSolver) {
+	solversMu.Lock()
+	defer solversMu.Unlock()
+	solvers[s.Name()] = s
+}
+
+// Lookup resolves a solver name; "" and "auto" yield the automatic
+// dispatcher.
+func Lookup(name string) (GroundStateSolver, error) {
+	if name == "" || name == "auto" {
+		return Auto(), nil
+	}
+	solversMu.RLock()
+	defer solversMu.RUnlock()
+	if s, ok := solvers[name]; ok {
+		return s, nil
+	}
+	return nil, fmt.Errorf("sim: unknown ground-state solver %q (have %v)", name, solverNamesLocked())
+}
+
+// SolverNames lists the registered solver names, sorted.
+func SolverNames() []string {
+	solversMu.RLock()
+	defer solversMu.RUnlock()
+	return solverNamesLocked()
+}
+
+func solverNamesLocked() []string {
+	out := make([]string, 0, len(solvers))
+	for n := range solvers {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AutoQuickExactLimit is the largest free-dot count for which the
+// automatic dispatcher hands an instance to a registered pruned exact
+// engine ("quickexact") instead of annealing. It defaults to ExactLimit so
+// automatic dispatch keeps the historical exact/heuristic boundary: below
+// it results merely arrive faster, above it behavior is unchanged. The
+// pruned engine comfortably solves 30+ free dots — select it explicitly
+// (solver name "quickexact") or raise this limit to verify larger layouts
+// exactly. Note that exact results above the boundary can legitimately
+// differ from annealed ones: annealing may settle in a population-stable
+// metastable state above the true ground state.
+var AutoQuickExactLimit = ExactLimit
+
+// Auto returns the automatic dispatcher: it prefers a registered pruned
+// exact engine up to AutoQuickExactLimit free dots, falls back to
+// exhaustive enumeration up to ExactLimit, and anneals beyond that.
+func Auto() GroundStateSolver { return autoSolver{} }
+
+func init() {
+	Register(exgsSolver{})
+	Register(annealSolver{})
+	Register(autoSolver{})
+}
+
+// exgsSolver is the brute-force exhaustive backend (SiQAD's ExGS).
+type exgsSolver struct{}
+
+func (exgsSolver) Name() string  { return "exgs" }
+func (exgsSolver) IsExact() bool { return true }
+
+func (exgsSolver) Solve(e *Engine, opts SolveOptions) (Solution, error) {
+	gs, en, err := e.ExhaustiveChecked()
+	if err != nil {
+		return Solution{}, err
+	}
+	opts.Tracer.Counter("sim/exgs/solves").Inc()
+	return Solution{Charges: gs, EnergyEV: en, Solver: "exgs", Exact: true}, nil
+}
+
+// annealSolver is the simulated-annealing backend with the default
+// deterministic restart schedule.
+type annealSolver struct{}
+
+func (annealSolver) Name() string  { return "anneal" }
+func (annealSolver) IsExact() bool { return false }
+
+func (annealSolver) Solve(e *Engine, opts SolveOptions) (Solution, error) {
+	// The anneal config's own tracer hook emits spans, which are not safe
+	// for parallel solver workers; the solver path keeps to counters.
+	gs, en := e.Anneal(DefaultAnnealConfig())
+	opts.Tracer.Counter("sim/anneal/solves").Inc()
+	return Solution{Charges: gs, EnergyEV: en, Solver: "anneal", Exact: false}, nil
+}
+
+// autoSolver dispatches by instance size and backend availability.
+type autoSolver struct{}
+
+func (autoSolver) Name() string  { return "auto" }
+func (autoSolver) IsExact() bool { return false }
+
+func (autoSolver) Solve(e *Engine, opts SolveOptions) (Solution, error) {
+	free := len(e.FreeIndices())
+	solversMu.RLock()
+	q := solvers["quickexact"]
+	solversMu.RUnlock()
+	if q != nil && free <= AutoQuickExactLimit {
+		if sol, err := q.Solve(e, opts); err == nil {
+			return sol, nil
+		}
+		// A backend failure (e.g. an exhausted node budget) degrades to
+		// the size-based fallbacks below.
+	}
+	if free <= ExactLimit {
+		return exgsSolver{}.Solve(e, opts)
+	}
+	return annealSolver{}.Solve(e, opts)
+}
