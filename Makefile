@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race bench bench-sim table1 clean
+.PHONY: all build test check race bench bench-sim bench-cache table1 serve serve-smoke clean
 
 all: build
 
@@ -37,8 +37,24 @@ bench-sim:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
+# bench-cache measures the bestagond result cache: cold vs warm latency
+# over the simulation and flow endpoints, with a byte-identity check
+# between cold and warm responses. Writes BENCH_cache.json.
+bench-cache:
+	$(GO) run ./cmd/benchcache
+
 table1:
 	$(GO) run ./cmd/table1
+
+# serve runs the design-service daemon on :8711.
+serve:
+	$(GO) run ./cmd/bestagond
+
+# serve-smoke builds the real daemon binary, boots it, exercises every
+# endpoint (cold + warm cache pass, async jobs, concurrent burst), and
+# verifies graceful drain on SIGTERM.
+serve-smoke:
+	$(GO) run ./scripts/serve-smoke
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,234 @@
+// Command benchcache measures the bestagond result cache: it boots an
+// in-process service, drives cold and warm passes over the simulation and
+// flow endpoints, and writes BENCH_cache.json with per-pass latency, the
+// warm/cold speedup, and a byte-identity check between cold and warm
+// responses. It exits nonzero when any warm response differs from its
+// cold counterpart (the cache must never change an answer) or when any
+// request fails.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"repro/internal/service"
+
+	// Register the pruned exact ground-state backend.
+	_ "repro/internal/sim/quickexact"
+)
+
+// passStats aggregates one endpoint's cold/warm comparison.
+type passStats struct {
+	Requests      int     `json:"requests"`
+	ColdMSTotal   float64 `json:"cold_ms_total"`
+	WarmMSTotal   float64 `json:"warm_ms_total"`
+	ColdMSMean    float64 `json:"cold_ms_mean"`
+	WarmMSMean    float64 `json:"warm_ms_mean"`
+	Speedup       float64 `json:"speedup"`
+	WarmHits      int     `json:"warm_hits"`
+	ByteIdentical bool    `json:"byte_identical"`
+}
+
+func (p *passStats) finish() {
+	if p.Requests > 0 {
+		p.ColdMSMean = p.ColdMSTotal / float64(p.Requests)
+		p.WarmMSMean = p.WarmMSTotal / float64(p.Requests)
+	}
+	if p.WarmMSTotal > 0 {
+		p.Speedup = p.ColdMSTotal / p.WarmMSTotal
+	}
+}
+
+type benchReport struct {
+	Simulate passStats `json:"simulate"`
+	Flow     passStats `json:"flow"`
+	Cache    struct {
+		Hits    int64   `json:"hits"`
+		Misses  int64   `json:"misses"`
+		Entries int64   `json:"entries"`
+		Bytes   int64   `json:"bytes"`
+		HitRate float64 `json:"hit_rate"`
+	} `json:"cache"`
+	OverallSpeedup float64 `json:"overall_speedup"`
+}
+
+func main() {
+	var (
+		out     = flag.String("o", "BENCH_cache.json", "output report file")
+		flows   = flag.String("flows", "xor2,mux21,majority", "comma-separated benchmarks for the flow pass")
+		verbose = flag.Bool("v", false, "print each request")
+	)
+	flag.Parse()
+
+	srv, err := service.New(service.Config{Workers: 1})
+	if err != nil {
+		fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var rep benchReport
+	ok := true
+
+	// Simulation pass: every library gate tile, cold then warm.
+	gates, err := listGates(ts.URL)
+	if err != nil {
+		fatal(err)
+	}
+	simBodies := make([]json.RawMessage, 0, len(gates))
+	for _, g := range gates {
+		payload := map[string]any{"gate": g}
+		body, ms, _, err := post(ts.URL+"/v1/simulate", payload)
+		if err != nil {
+			fatal(fmt.Errorf("cold simulate %s: %w", g, err))
+		}
+		rep.Simulate.ColdMSTotal += ms
+		simBodies = append(simBodies, body)
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "cold simulate %-24s %8.2fms\n", g, ms)
+		}
+	}
+	rep.Simulate.ByteIdentical = true
+	for i, g := range gates {
+		body, ms, hit, err := post(ts.URL+"/v1/simulate", map[string]any{"gate": g})
+		if err != nil {
+			fatal(fmt.Errorf("warm simulate %s: %w", g, err))
+		}
+		rep.Simulate.WarmMSTotal += ms
+		if hit {
+			rep.Simulate.WarmHits++
+		}
+		if !bytes.Equal(body, simBodies[i]) {
+			fmt.Fprintf(os.Stderr, "benchcache: FAIL: warm simulate %s differs from cold response\n", g)
+			rep.Simulate.ByteIdentical = false
+			ok = false
+		}
+	}
+	rep.Simulate.Requests = len(gates)
+	rep.Simulate.finish()
+
+	// Flow pass: full flow with SiQAD export, cold then warm.
+	var benches []string
+	for _, b := range splitComma(*flows) {
+		benches = append(benches, b)
+	}
+	flowBodies := make([]json.RawMessage, 0, len(benches))
+	for _, b := range benches {
+		payload := map[string]any{"bench": b, "engine": "ortho", "sqd": true}
+		body, ms, _, err := post(ts.URL+"/v1/flow", payload)
+		if err != nil {
+			fatal(fmt.Errorf("cold flow %s: %w", b, err))
+		}
+		rep.Flow.ColdMSTotal += ms
+		flowBodies = append(flowBodies, body)
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "cold flow     %-24s %8.2fms\n", b, ms)
+		}
+	}
+	rep.Flow.ByteIdentical = true
+	for i, b := range benches {
+		payload := map[string]any{"bench": b, "engine": "ortho", "sqd": true}
+		body, ms, hit, err := post(ts.URL+"/v1/flow", payload)
+		if err != nil {
+			fatal(fmt.Errorf("warm flow %s: %w", b, err))
+		}
+		rep.Flow.WarmMSTotal += ms
+		if hit {
+			rep.Flow.WarmHits++
+		}
+		if !bytes.Equal(body, flowBodies[i]) {
+			fmt.Fprintf(os.Stderr, "benchcache: FAIL: warm flow %s differs from cold response\n", b)
+			rep.Flow.ByteIdentical = false
+			ok = false
+		}
+	}
+	rep.Flow.Requests = len(benches)
+	rep.Flow.finish()
+
+	st := srv.CacheStats()
+	rep.Cache.Hits = st.Hits
+	rep.Cache.Misses = st.Misses
+	rep.Cache.Entries = st.Entries
+	rep.Cache.Bytes = st.Bytes
+	rep.Cache.HitRate = st.HitRate()
+	if warm := rep.Simulate.WarmMSTotal + rep.Flow.WarmMSTotal; warm > 0 {
+		rep.OverallSpeedup = (rep.Simulate.ColdMSTotal + rep.Flow.ColdMSTotal) / warm
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchcache: simulate %d gates: cold %.1fms warm %.1fms (%.0fx)\n",
+		rep.Simulate.Requests, rep.Simulate.ColdMSTotal, rep.Simulate.WarmMSTotal, rep.Simulate.Speedup)
+	fmt.Printf("benchcache: flow %d benches:  cold %.1fms warm %.1fms (%.0fx)\n",
+		rep.Flow.Requests, rep.Flow.ColdMSTotal, rep.Flow.WarmMSTotal, rep.Flow.Speedup)
+	fmt.Printf("benchcache: overall %.0fx speedup, byte-identical: %v, wrote %s\n",
+		rep.OverallSpeedup, rep.Simulate.ByteIdentical && rep.Flow.ByteIdentical, *out)
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// post sends a JSON request and returns (body, elapsed ms, cache hit).
+func post(url string, payload any) (json.RawMessage, float64, bool, error) {
+	b, err := json.Marshal(payload)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	start := time.Now()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return nil, 0, false, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	elapsed := float64(time.Since(start)) / float64(time.Millisecond)
+	if err != nil {
+		return nil, elapsed, false, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, elapsed, false, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return body, elapsed, resp.Header.Get("X-Cache") == "hit", nil
+}
+
+func listGates(base string) ([]string, error) {
+	resp, err := http.Get(base + "/v1/gates")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Gates []string `json:"gates"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Gates, nil
+}
+
+func splitComma(s string) []string {
+	var out []string
+	for _, p := range bytes.Split([]byte(s), []byte(",")) {
+		if t := bytes.TrimSpace(p); len(t) > 0 {
+			out = append(out, string(t))
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcache:", err)
+	os.Exit(1)
+}

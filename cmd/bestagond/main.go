@@ -1,0 +1,146 @@
+// Command bestagond runs the Bestagon design flow as a long-running HTTP
+// service: a JSON API over flow runs, ground-state simulation, and gate
+// validation, backed by a bounded job queue with a worker pool,
+// content-addressed result caching, and flow-wide cooperative
+// cancellation (per-job deadlines, client disconnects, graceful drain).
+//
+// Usage:
+//
+//	bestagond                                 # listen on :8711, 2 workers
+//	bestagond -addr :9000 -workers 8
+//	bestagond -cache-size 256 -cache-dir /var/cache/bestagond
+//	bestagond -solver quickexact -job-timeout 5m
+//	bestagond -report server-report.json      # written on shutdown
+//
+// Endpoints:
+//
+//	POST   /v1/flow            run the full flow (sync, or async with job id)
+//	POST   /v1/simulate        ground-state simulate a gate tile or dot list
+//	POST   /v1/gates/validate  validate a library tile against its truth table
+//	GET    /v1/gates           list library variant keys
+//	GET    /v1/jobs/{id}       job status (and result once done)
+//	DELETE /v1/jobs/{id}       cancel a job
+//	GET    /healthz            liveness
+//	GET    /metrics            plain-text metrics (cache, queue, solvers)
+//
+// On SIGINT/SIGTERM the listener stops accepting requests and in-flight
+// jobs are drained; jobs still running when the grace period expires are
+// canceled mid-search (the SAT, branch-and-bound, and annealing loops all
+// honor cancellation).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+	"repro/internal/sim"
+
+	// Register the pruned exact ground-state backend for -solver.
+	_ "repro/internal/sim/quickexact"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8711", "listen address")
+		workers    = flag.Int("workers", 2, "job worker pool size")
+		queueDepth = flag.Int("queue-depth", 0, "queued-job bound (default 4*workers); full queue returns 429")
+		jobTimeout = flag.Duration("job-timeout", 10*time.Minute, "default per-job deadline (0 = none); requests may shorten it via timeout_ms")
+		cacheSize  = flag.Int64("cache-size", 64, "in-memory result cache bound in MiB")
+		cacheDir   = flag.String("cache-dir", "", "directory for the persistent flow-artifact cache (empty = memory only)")
+		solver     = flag.String("solver", "", "default ground-state solver: "+strings.Join(sim.SolverNames(), ", ")+" (default auto)")
+		drainGrace = flag.Duration("drain-grace", 30*time.Second, "shutdown grace period before in-flight jobs are canceled")
+		trace      = flag.Bool("trace", false, "log request/job activity to stderr")
+		report     = flag.String("report", "", "write a JSON metrics report to FILE on shutdown ('-' for stdout)")
+	)
+	flag.Parse()
+
+	tr := obs.New()
+	srv, err := service.New(service.Config{
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+		JobTimeout: *jobTimeout,
+		CacheBytes: *cacheSize << 20,
+		CacheDir:   *cacheDir,
+		Solver:     *solver,
+		Tracer:     tr,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	handler := srv.Handler()
+	if *trace {
+		handler = logRequests(handler)
+	}
+	hs := &http.Server{Addr: *addr, Handler: handler}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "bestagond: listening on %s (%d workers)\n", *addr, *workers)
+		errCh <- hs.ListenAndServe()
+	}()
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "bestagond: shutdown signal received; draining")
+	case err := <-errCh:
+		fatal(err)
+	}
+
+	// Stop accepting connections, then drain the job queue. Jobs still
+	// running when the grace period expires are canceled cooperatively.
+	grace, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	if err := hs.Shutdown(grace); err != nil {
+		fmt.Fprintf(os.Stderr, "bestagond: http shutdown: %v\n", err)
+	}
+	if err := srv.Drain(grace); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "bestagond: drain: %v\n", err)
+	} else if errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "bestagond: drain grace expired; in-flight jobs were canceled")
+	}
+
+	if *report != "" {
+		data, err := tr.Report("bestagond").JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if *report == "-" {
+			fmt.Printf("%s\n", data)
+		} else if err := os.WriteFile(*report, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		} else {
+			fmt.Fprintf(os.Stderr, "bestagond: wrote %s\n", *report)
+		}
+	}
+	st := srv.CacheStats()
+	fmt.Fprintf(os.Stderr, "bestagond: cache at exit: %d entries, %d bytes, %.0f%% hit rate\n",
+		st.Entries, st.Bytes, 100*st.HitRate())
+}
+
+// logRequests is the -trace middleware: one stderr line per request.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		fmt.Fprintf(os.Stderr, "bestagond: %s %s (%s)\n", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bestagond:", err)
+	os.Exit(1)
+}

@@ -56,6 +56,7 @@ func main() {
 	fmt.Printf("%-5s %-14s | %-22s | %-22s | %s\n", "", "Name",
 		"repro  w x h =  A  SiDBs", "paper  w x h =  A  SiDBs", "repro nm2 / paper nm2")
 	fmt.Println(strings.Repeat("-", 96))
+	var failed []string
 	for _, b := range bench.Benchmarks {
 		if *only != "" && b.Name != *only {
 			continue
@@ -69,6 +70,7 @@ func main() {
 		res, err := core.RunBenchmark(b.Name, runOpts)
 		if err != nil {
 			fmt.Printf("[%s] %-14s | FAILED: %v\n", b.Suite[:4], b.Name, err)
+			failed = append(failed, b.Name)
 			continue
 		}
 		l := res.Layout
@@ -88,6 +90,11 @@ func main() {
 		if tr != nil {
 			fmt.Printf("      %s\n", stageTimings(tr.Report(b.Name)))
 		}
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "table1: %d benchmark(s) failed: %s\n",
+			len(failed), strings.Join(failed, ", "))
+		os.Exit(1)
 	}
 }
 

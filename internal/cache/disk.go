@@ -1,0 +1,72 @@
+package cache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Disk is an optional persistent layer for flow-level artifacts. Entries
+// are plain files addressed by key, fanned out over 256 two-hex-digit
+// subdirectories; writes go through a temp file plus rename so readers
+// never observe a partial entry. Disk never evicts — operators bound it by
+// pointing -cache-dir at a managed directory.
+type Disk struct {
+	dir string
+}
+
+// NewDisk opens (creating if needed) a disk cache rooted at dir.
+func NewDisk(dir string) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: disk: %w", err)
+	}
+	return &Disk{dir: dir}, nil
+}
+
+// path maps a key to its file. The key's domain tag becomes part of the
+// filename; the hex digest provides the fan-out prefix.
+func (d *Disk) path(key Key) string {
+	name := strings.ReplaceAll(string(key), ":", "_")
+	hexPart := name
+	if i := strings.LastIndexByte(name, '_'); i >= 0 && len(name) > i+2 {
+		hexPart = name[i+1:]
+	}
+	return filepath.Join(d.dir, hexPart[:2], name+".bin")
+}
+
+// Get reads the entry for key; ok is false when absent.
+func (d *Disk) Get(key Key) ([]byte, bool) {
+	b, err := os.ReadFile(d.path(key))
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+// Put writes the entry atomically (temp file + rename). Errors are
+// returned for the caller to log; a failed Put never corrupts the store.
+func (d *Disk) Put(key Key, val []byte) error {
+	p := d.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("cache: disk put: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("cache: disk put: %w", err)
+	}
+	if _, err := tmp.Write(val); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: disk put: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: disk put: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: disk put: %w", err)
+	}
+	return nil
+}

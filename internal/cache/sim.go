@@ -1,0 +1,111 @@
+package cache
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// CachedSolver memoizes a ground-state solver through a content-addressed
+// LRU. The cache key covers the physical problem (sites, pinned dots,
+// parameters) and the backend name; charge vectors are stored in canonical
+// site order and remapped on the way out, so layouts built with different
+// dot insertion orders share entries and still receive correctly-indexed
+// results. Only successful solves are cached — errors (including context
+// cancellation) always reach the caller and leave no entry behind.
+type CachedSolver struct {
+	Inner sim.GroundStateSolver
+	Cache *LRU
+}
+
+var _ sim.GroundStateSolver = (*CachedSolver)(nil)
+
+// Name returns the inner backend's name.
+func (c *CachedSolver) Name() string { return c.Inner.Name() }
+
+// IsExact reports whether the inner backend proves minimality.
+func (c *CachedSolver) IsExact() bool { return c.Inner.IsExact() }
+
+// Solve returns the memoized ground state, or delegates to the inner
+// backend and stores the result.
+func (c *CachedSolver) Solve(e *sim.Engine, opts sim.SolveOptions) (sim.Solution, error) {
+	sol, _, err := c.SolveTrack(e, opts)
+	return sol, err
+}
+
+// SolveTrack is Solve plus a hit indicator (true when the result was
+// served from the cache), used by the service layer's X-Cache header.
+func (c *CachedSolver) SolveTrack(e *sim.Engine, opts sim.SolveOptions) (sim.Solution, bool, error) {
+	key, order := SimKey(e, c.Inner.Name())
+	if b, ok := c.Cache.Get(key); ok {
+		if sol, err := decodeSolution(b, order); err == nil {
+			return sol, true, nil
+		}
+		// A decode failure means a corrupted or incompatible entry; fall
+		// through and recompute (the Put below overwrites it).
+	}
+	sol, err := c.Inner.Solve(e, opts)
+	if err != nil {
+		return sol, false, err
+	}
+	c.Cache.Put(key, encodeSolution(sol, order))
+	return sol, false, nil
+}
+
+// encodeSolution serializes a solution with its charge vector permuted
+// into canonical site order (canonical bit k = Charges[order[k]]).
+func encodeSolution(sol sim.Solution, order []int) []byte {
+	n := len(sol.Charges)
+	b := make([]byte, 0, 8+1+2+len(sol.Solver)+4+(n+7)/8)
+	var f [8]byte
+	binary.BigEndian.PutUint64(f[:], math.Float64bits(sol.EnergyEV))
+	b = append(b, f[:]...)
+	if sol.Exact {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = append(b, byte(len(sol.Solver)>>8), byte(len(sol.Solver)))
+	b = append(b, sol.Solver...)
+	var nb [4]byte
+	binary.BigEndian.PutUint32(nb[:], uint32(n))
+	b = append(b, nb[:]...)
+	bits := make([]byte, (n+7)/8)
+	for k := 0; k < n; k++ {
+		if sol.Charges[order[k]] {
+			bits[k/8] |= 1 << (k % 8)
+		}
+	}
+	return append(b, bits...)
+}
+
+// decodeSolution is the inverse of encodeSolution: canonical bit k is
+// written back to Charges[order[k]].
+func decodeSolution(b []byte, order []int) (sim.Solution, error) {
+	var sol sim.Solution
+	if len(b) < 8+1+2 {
+		return sol, fmt.Errorf("cache: short solution entry")
+	}
+	sol.EnergyEV = math.Float64frombits(binary.BigEndian.Uint64(b[:8]))
+	sol.Exact = b[8] == 1
+	b = b[9:]
+	sl := int(b[0])<<8 | int(b[1])
+	b = b[2:]
+	if len(b) < sl+4 {
+		return sol, fmt.Errorf("cache: short solution entry")
+	}
+	sol.Solver = string(b[:sl])
+	b = b[sl:]
+	n := int(binary.BigEndian.Uint32(b[:4]))
+	b = b[4:]
+	if n != len(order) || len(b) < (n+7)/8 {
+		return sol, fmt.Errorf("cache: solution entry size mismatch")
+	}
+	sol.Charges = make([]bool, n)
+	for k := 0; k < n; k++ {
+		sol.Charges[order[k]] = b[k/8]&(1<<(k%8)) != 0
+	}
+	return sol, nil
+}

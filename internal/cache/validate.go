@@ -1,0 +1,31 @@
+package cache
+
+import (
+	"encoding/json"
+
+	"repro/internal/gatelib"
+	"repro/internal/sim"
+)
+
+// CachedValidate memoizes standalone gate validation through the LRU. The
+// second return reports whether the result came from the cache. Only
+// successful validations are stored (a failed solver lookup is returned
+// uncached), and the cached value is the full Validation including the
+// per-pattern outputs and the minimum energy gap.
+func CachedValidate(lru *LRU, d *gatelib.Design, truth func(uint32) uint32, params sim.Params, opts gatelib.ValidateOptions) (gatelib.Validation, bool, error) {
+	key := ValidationKey(d, truth, params, opts.Solver)
+	if b, ok := lru.Get(key); ok {
+		var v gatelib.Validation
+		if err := json.Unmarshal(b, &v); err == nil {
+			return v, true, nil
+		}
+	}
+	v, err := gatelib.ValidateWith(d, truth, params, opts)
+	if err != nil {
+		return v, false, err
+	}
+	if b, err := json.Marshal(v); err == nil {
+		lru.Put(key, b)
+	}
+	return v, false, nil
+}

@@ -16,7 +16,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"os"
 
 	"repro/internal/clocking"
 	"repro/internal/gatelayout"
@@ -114,17 +116,39 @@ type Result struct {
 
 // Run executes the flow on a specification network.
 func Run(spec *network.XAG, opts Options) (*Result, error) {
+	return RunContext(context.Background(), spec, opts)
+}
+
+// RunContext executes the flow under a context. Cancellation (or a
+// deadline) propagates into every compute-heavy stage — the SAT searches
+// of exact physical design and verification, the ortho router's row loop,
+// and the ground-state solvers of the optional cell simulation — so an
+// abandoned run stops burning CPU mid-stage instead of running to
+// completion. A nil context behaves like context.Background.
+func RunContext(ctx context.Context, spec *network.XAG, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	res := &Result{Spec: spec}
 	tr := opts.Tracer
 	root := tr.Start("flow")
 	defer root.End()
+
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 
 	// (2) logic rewriting.
 	sp := tr.Start("rewrite")
 	if opts.SkipRewrite {
 		res.Rewritten = spec.Cleanup()
 	} else {
-		res.Rewritten = rewrite.Rewrite(spec, opts.Rewrite)
+		rw, err := rewrite.RewriteContext(ctx, spec, opts.Rewrite)
+		if err != nil {
+			sp.End()
+			return res, fmt.Errorf("core: rewriting: %w", err)
+		}
+		res.Rewritten = rw
 	}
 	sp.SetAttr("gates", res.Rewritten.NumGates())
 	sp.End()
@@ -152,16 +176,16 @@ func Run(spec *network.XAG, opts Options) (*Result, error) {
 	var layout *gatelayout.Layout
 	switch opts.Engine {
 	case EngineOrtho:
-		layout, err = pnr.Ortho(g, tr)
+		layout, err = pnr.OrthoContext(ctx, g, tr)
 		res.EngineUsed = "ortho"
 	case EngineExact:
-		layout, err = pnr.Exact(g, ex)
+		layout, err = pnr.ExactContext(ctx, g, ex)
 		res.EngineUsed = "exact"
 	default:
-		layout, err = pnr.Exact(g, ex)
+		layout, err = pnr.ExactContext(ctx, g, ex)
 		res.EngineUsed = "exact"
-		if err != nil {
-			layout, err = pnr.Ortho(g, tr)
+		if err != nil && ctx.Err() == nil {
+			layout, err = pnr.OrthoContext(ctx, g, tr)
 			res.EngineUsed = "ortho"
 		}
 	}
@@ -184,7 +208,7 @@ func Run(spec *network.XAG, opts Options) (*Result, error) {
 
 	// (5) formal verification.
 	sp = tr.Start("verify")
-	eq, err := verify.EquivalentLayout(spec, layout)
+	eq, err := verify.EquivalentLayoutContext(ctx, spec, layout)
 	if err == nil {
 		sp.SetAttr("conflicts", eq.Metrics.Conflicts)
 		tr.Counter("sat/conflicts").Add(eq.Metrics.Conflicts)
@@ -230,13 +254,22 @@ func Run(spec *network.XAG, opts Options) (*Result, error) {
 			sp = tr.Start("cellsim")
 			eng := sim.NewEngine(cell, sim.ParamsFig5)
 			free := len(eng.FreeIndices())
-			sol, serr := solver.Solve(eng, sim.SolveOptions{Tracer: tr})
+			sol, serr := solver.Solve(eng, sim.SolveOptions{Tracer: tr, Ctx: ctx})
 			if serr != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					sp.End()
+					return res, fmt.Errorf("core: cell simulation canceled: %w", cerr)
+				}
 				// An exact backend that gives up (enumeration limit, node
 				// budget) degrades to annealing rather than failing the
-				// whole flow.
+				// whole flow. The degrade is loud: exactness was requested
+				// but the result is no longer provably minimal.
+				tr.Counter("sim/degraded_to_anneal").Inc()
+				sim.ExhaustiveDegrades.Inc()
+				fmt.Fprintf(os.Stderr, "core: warning: cell simulation degraded to annealing (%v)\n", serr)
 				cfg := sim.DefaultAnnealConfig()
 				cfg.Tracer = tr
+				cfg.Ctx = ctx
 				gs, en := eng.Anneal(cfg)
 				sol = sim.Solution{Charges: gs, EnergyEV: en, Solver: "anneal"}
 			}
@@ -259,11 +292,16 @@ func Run(spec *network.XAG, opts Options) (*Result, error) {
 
 // RunBenchmark loads a named Table 1 benchmark and runs the flow.
 func RunBenchmark(name string, opts Options) (*Result, error) {
+	return RunBenchmarkContext(context.Background(), name, opts)
+}
+
+// RunBenchmarkContext is RunBenchmark under a context (see RunContext).
+func RunBenchmarkContext(ctx context.Context, name string, opts Options) (*Result, error) {
 	x, err := bench.Load(name)
 	if err != nil {
 		return nil, err
 	}
-	return Run(x, opts)
+	return RunContext(ctx, x, opts)
 }
 
 // ExportSQD renders the cell-level layout as a SiQAD design file (flow

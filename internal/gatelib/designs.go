@@ -247,6 +247,18 @@ func (lib *Library) Get(f gates.Func, ins, outs []hexgrid.Direction) (*Design, e
 	return d, nil
 }
 
+// Design looks a variant up by its key string (as listed by Variants),
+// returning the tile design and its gate function. Used by callers that
+// address gates by name — e.g. the design-service /v1/simulate and
+// /v1/gates endpoints — rather than by structured Variant.
+func (lib *Library) Design(key string) (*Design, gates.Func, bool) {
+	d, ok := lib.designs[key]
+	if !ok {
+		return nil, 0, false
+	}
+	return d, lib.funcs[key], true
+}
+
 // Variants lists all registered variant keys (sorted order not guaranteed).
 func (lib *Library) Variants() []string {
 	out := make([]string, 0, len(lib.designs))

@@ -1,6 +1,7 @@
 package npn
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/logic/tt"
@@ -38,6 +39,13 @@ func NewDatabase(sy *Synthesizer) *Database {
 // returned structure computes f itself, with the class transform already
 // applied), or ok=false if synthesis failed within budget.
 func (db *Database) Lookup(f tt.TT) (Structure, bool) {
+	return db.LookupContext(context.Background(), f)
+}
+
+// LookupContext is Lookup under a context. A canceled synthesis returns
+// ok=false without recording the class as failed, so a later uncanceled
+// lookup retries it.
+func (db *Database) LookupContext(ctx context.Context, f tt.TT) (Structure, bool) {
 	canon, tr := Canonize(f)
 	key := dbKey{n: canon.NumVars(), word: canon.Word()}
 	db.mu.Lock()
@@ -49,13 +57,18 @@ func (db *Database) Lookup(f tt.TT) (Structure, bool) {
 	}
 	if !have {
 		var err error
-		st, err = db.synth.Synthesize(canon)
-		db.mu.Lock()
+		st, err = db.synth.SynthesizeContext(ctx, canon)
 		if err != nil {
-			db.fails[key] = true
-			db.mu.Unlock()
+			// Only genuine synthesis failures poison the class; a canceled
+			// search must stay retryable.
+			if ctx == nil || ctx.Err() == nil {
+				db.mu.Lock()
+				db.fails[key] = true
+				db.mu.Unlock()
+			}
 			return Structure{}, false
 		}
+		db.mu.Lock()
 		db.byFn[key] = st
 		db.mu.Unlock()
 	}

@@ -9,6 +9,8 @@
 package rewrite
 
 import (
+	"context"
+	"fmt"
 	"sort"
 
 	"repro/internal/logic/network"
@@ -48,16 +50,30 @@ func (o Options) withDefaults() Options {
 // Rewrite returns a functionally equivalent network with equal or smaller
 // gate count, produced by exact-NPN cut rewriting.
 func Rewrite(x *network.XAG, opts Options) *network.XAG {
+	out, _ := RewriteContext(context.Background(), x, opts)
+	return out
+}
+
+// RewriteContext is Rewrite under a context: cancellation or deadline
+// expiry interrupts the exact-synthesis SAT searches and the greedy loop,
+// returning the context's error. The rewriting loop dominates the flow's
+// runtime on synthesis-heavy networks, so flow-wide cancellation depends
+// on this path aborting promptly. A nil context behaves like
+// context.Background.
+func RewriteContext(ctx context.Context, x *network.XAG, opts Options) (*network.XAG, error) {
 	o := opts.withDefaults()
 	cur := x.Cleanup()
 	for iter := 0; iter < o.MaxIterations; iter++ {
-		improved, next := rewriteOnce(cur, o)
+		improved, next, err := rewriteOnce(ctx, cur, o)
+		if err != nil {
+			return cur, err
+		}
 		if !improved {
-			return cur
+			return cur, nil
 		}
 		cur = next
 	}
-	return cur
+	return cur, nil
 }
 
 // cut is a set of leaf node indices, sorted ascending.
@@ -254,11 +270,15 @@ type candidate struct {
 
 // rewriteOnce finds the best replacement candidate and applies it by
 // reconstruction. It reports whether the network shrank.
-func rewriteOnce(x *network.XAG, o Options) (bool, *network.XAG) {
+func rewriteOnce(ctx context.Context, x *network.XAG, o Options) (bool, *network.XAG, error) {
 	cuts := enumerateCuts(x, o)
 	fanout := x.FanoutCounts()
+	poll := ctx != nil && ctx.Done() != nil
 	var best *candidate
 	for n := 1; n < x.NumNodes(); n++ {
+		if poll && ctx.Err() != nil {
+			return false, x, fmt.Errorf("rewrite: canceled: %w", ctx.Err())
+		}
 		kind := x.Kind(n)
 		if kind != network.KindAnd && kind != network.KindXor {
 			continue
@@ -271,7 +291,7 @@ func rewriteOnce(x *network.XAG, o Options) (bool, *network.XAG) {
 			if !ok {
 				continue
 			}
-			st, ok := o.DB.Lookup(f)
+			st, ok := o.DB.LookupContext(ctx, f)
 			if !ok {
 				continue
 			}
@@ -286,13 +306,13 @@ func rewriteOnce(x *network.XAG, o Options) (bool, *network.XAG) {
 		}
 	}
 	if best == nil {
-		return false, x
+		return false, x, nil
 	}
 	next := applyReplacement(x, best)
 	if next.NumGates() < x.NumGates() {
-		return true, next
+		return true, next, nil
 	}
-	return false, x
+	return false, x, nil
 }
 
 // applyReplacement rebuilds the network, instantiating the candidate

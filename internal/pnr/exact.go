@@ -1,6 +1,7 @@
 package pnr
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -50,6 +51,16 @@ func (o ExactOptions) withDefaults(g *RGraph) ExactOptions {
 // following the exact method of [46], adjusted to hexagonal layouts and
 // the Bestagon library.
 func Exact(g *RGraph, opts ExactOptions) (*gatelayout.Layout, error) {
+	return ExactContext(context.Background(), g, opts)
+}
+
+// ExactContext is Exact under a context: cancellation or deadline expiry
+// interrupts the SAT search mid-solve and returns the context's error. A
+// nil context behaves like context.Background.
+func ExactContext(ctx context.Context, g *RGraph, opts ExactOptions) (*gatelayout.Layout, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -100,11 +111,14 @@ func Exact(g *RGraph, opts ExactOptions) (*gatelayout.Layout, error) {
 	})
 	sp.SetAttr("candidates", len(cands))
 	for _, d := range cands {
-		l, status := solveSize(g, d.w, d.h, o)
+		l, status := solveSize(ctx, g, d.w, d.h, o)
 		if status == sat.Sat {
 			sp.SetAttr("w", d.w)
 			sp.SetAttr("h", d.h)
 			return l, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("pnr: exact search canceled: %w", err)
 		}
 	}
 	return nil, fmt.Errorf("pnr: no exact layout within area %d for %s", o.MaxArea, g.Name)
@@ -169,7 +183,7 @@ func (e *exactEncoder) edgeRows(eid int) (int, int) {
 
 // solveSize attempts one grid size, recording the (w, h) attempt and its
 // SAT outcome as a size-search span.
-func solveSize(g *RGraph, w, h int, o ExactOptions) (layout *gatelayout.Layout, status sat.Status) {
+func solveSize(ctx context.Context, g *RGraph, w, h int, o ExactOptions) (layout *gatelayout.Layout, status sat.Status) {
 	tr := o.Tracer
 	sp := tr.Start("pnr/exact/size")
 	defer func() {
@@ -217,7 +231,7 @@ func solveSize(g *RGraph, w, h int, o ExactOptions) (layout *gatelayout.Layout, 
 	enc.lFalse = enc.s.NewVar()
 	enc.s.AddClause(enc.lFalse.Neg())
 	enc.build()
-	status = enc.s.Solve()
+	status = enc.s.SolveContext(ctx)
 	m := enc.s.Metrics()
 	sp.SetAttr("vars", enc.s.NumVars())
 	sp.SetAttr("clauses", enc.s.NumClauses())

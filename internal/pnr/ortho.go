@@ -1,6 +1,7 @@
 package pnr
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -43,12 +44,18 @@ type ptile struct {
 // are whatever the greedy process needs. A nil tracer disables telemetry
 // at no cost.
 func Ortho(g *RGraph, tr *obs.Tracer) (*gatelayout.Layout, error) {
+	return OrthoContext(context.Background(), g, tr)
+}
+
+// OrthoContext is Ortho under a context: cancellation is checked between
+// fabric rows. A nil context behaves like context.Background.
+func OrthoContext(ctx context.Context, g *RGraph, tr *obs.Tracer) (*gatelayout.Layout, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
 	sp := tr.Start("pnr/ortho")
 	defer sp.End()
-	r := &orthoRouter{g: g, placed: make([]bool, len(g.Nodes)), tr: tr}
+	r := &orthoRouter{g: g, placed: make([]bool, len(g.Nodes)), tr: tr, ctx: ctx}
 	l, err := r.run()
 	if err == nil {
 		sp.SetAttr("rows", len(r.rows))
@@ -65,6 +72,7 @@ type orthoRouter struct {
 	rows       [][]*ptile
 	tracks     []track
 	tr         *obs.Tracer
+	ctx        context.Context // nil = never canceled
 	peakTracks int
 }
 
@@ -85,6 +93,11 @@ func (r *orthoRouter) run() (*gatelayout.Layout, error) {
 	for rowIdx := 1; ; rowIdx++ {
 		if rowIdx > maxRows {
 			return nil, fmt.Errorf("pnr: ortho router exceeded %d rows on %s (livelock?)", maxRows, g.Name)
+		}
+		if r.ctx != nil {
+			if err := r.ctx.Err(); err != nil {
+				return nil, fmt.Errorf("pnr: ortho router canceled: %w", err)
+			}
 		}
 		if len(r.tracks) > r.peakTracks {
 			r.peakTracks = len(r.tracks)

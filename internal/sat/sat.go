@@ -9,6 +9,7 @@
 package sat
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
@@ -509,12 +510,33 @@ func luby(i int64) int64 {
 	return 1 << uint(seq)
 }
 
+// ctxCheckMask throttles context polling: cancellation is checked once
+// every ctxCheckMask+1 conflicts and once every ctxCheckMask+1 decisions,
+// so even propagation-heavy searches notice a cancelled context within
+// microseconds of work rather than running to completion.
+const ctxCheckMask = 255
+
 // Solve searches for a satisfying assignment of all added clauses, under
 // the given assumptions (literals forced true for this call only).
 func (s *Solver) Solve(assumptions ...Lit) Status {
+	return s.SolveContext(context.Background(), assumptions...)
+}
+
+// SolveContext is Solve under a context: when the context is cancelled or
+// its deadline expires the search is interrupted and Unknown is returned.
+// A nil context behaves like context.Background.
+func (s *Solver) SolveContext(ctx context.Context, assumptions ...Lit) Status {
 	if !s.ok {
 		return Unsat
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ctx.Err() != nil {
+		return Unknown
+	}
+	// Fast path: contexts that can never be cancelled need no polling.
+	poll := ctx.Done() != nil
 	defer s.cancelUntil(0)
 
 	var restarts int64
@@ -560,6 +582,9 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			if s.MaxConflicts > 0 && s.m.Conflicts >= s.MaxConflicts {
 				return Unknown
 			}
+			if poll && s.m.Conflicts&ctxCheckMask == 0 && ctx.Err() != nil {
+				return Unknown
+			}
 			if confsAtRestart >= confBudget {
 				restarts++
 				s.m.Restarts++
@@ -598,6 +623,9 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			return Sat
 		}
 		s.m.Decisions++
+		if poll && s.m.Decisions&ctxCheckMask == 0 && ctx.Err() != nil {
+			return Unknown
+		}
 		s.trailLim = append(s.trailLim, len(s.trail))
 		l := Lit(v)
 		if !s.phase[v] {

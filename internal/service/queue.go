@@ -1,0 +1,354 @@
+// Package service exposes the Bestagon design flow as a long-running HTTP
+// JSON service: a bounded job queue with a worker pool executes flow runs,
+// ground-state simulations, and gate validations under per-job deadlines,
+// with content-addressed result caching (internal/cache) in front of every
+// compute path and cooperative cancellation (context) threaded through
+// every solver loop underneath.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// JobState is the lifecycle state of a queued job.
+type JobState string
+
+// Job lifecycle states.
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// Queue submission errors.
+var (
+	// ErrQueueFull is returned when the bounded queue has no free slot;
+	// the HTTP layer maps it to 429 with a Retry-After header.
+	ErrQueueFull = errors.New("service: job queue is full")
+	// ErrDraining is returned once Drain has begun; the HTTP layer maps it
+	// to 503.
+	ErrDraining = errors.New("service: queue is draining")
+)
+
+// JobFunc is the work a job performs. It must honor ctx: cancellation or
+// deadline expiry is expected to abort the computation promptly (every
+// solver underneath the service is context-aware).
+type JobFunc func(ctx context.Context) (any, error)
+
+// Job is one unit of queued work.
+type Job struct {
+	ID   string
+	Kind string
+
+	fn      JobFunc
+	timeout time.Duration
+
+	mu       sync.Mutex
+	state    JobState
+	err      string
+	result   any
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	cancel   context.CancelFunc
+
+	// done is closed exactly once when the job reaches a terminal state.
+	done chan struct{}
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// State returns the current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Result returns the job outcome once done; before a terminal state it
+// returns (nil, "").
+func (j *Job) Result() (any, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.err
+}
+
+// Cancel requests cancellation: a queued job completes immediately as
+// canceled; a running job has its context canceled and finishes when the
+// computation unwinds.
+func (j *Job) Cancel() {
+	j.mu.Lock()
+	switch j.state {
+	case JobQueued:
+		j.state = JobCanceled
+		j.err = context.Canceled.Error()
+		j.finished = time.Now()
+		close(j.done)
+		j.mu.Unlock()
+		return
+	case JobRunning:
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return
+	}
+	j.mu.Unlock()
+}
+
+// Status is a serializable job snapshot.
+type Status struct {
+	ID         string   `json:"id"`
+	Kind       string   `json:"kind"`
+	State      JobState `json:"state"`
+	Error      string   `json:"error,omitempty"`
+	CreatedAt  string   `json:"created_at"`
+	StartedAt  string   `json:"started_at,omitempty"`
+	FinishedAt string   `json:"finished_at,omitempty"`
+	// RunMS is the execution time (running: so far; terminal: total).
+	RunMS int64 `json:"run_ms,omitempty"`
+}
+
+// Snapshot renders the job for /v1/jobs responses.
+func (j *Job) Snapshot() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:        j.ID,
+		Kind:      j.Kind,
+		State:     j.state,
+		Error:     j.err,
+		CreatedAt: j.created.UTC().Format(time.RFC3339Nano),
+	}
+	if !j.started.IsZero() {
+		st.StartedAt = j.started.UTC().Format(time.RFC3339Nano)
+		end := j.finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		st.RunMS = end.Sub(j.started).Milliseconds()
+	}
+	if !j.finished.IsZero() {
+		st.FinishedAt = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	return st
+}
+
+// maxRetainedJobs bounds the finished-job history kept for /v1/jobs
+// lookups; the oldest finished jobs are pruned beyond it.
+const maxRetainedJobs = 1024
+
+// Queue is a bounded job queue executed by a fixed worker pool. Submit
+// never blocks: when the buffer is full it fails fast with ErrQueueFull so
+// the HTTP layer can apply backpressure instead of stacking goroutines.
+type Queue struct {
+	ch      chan *Job
+	timeout time.Duration
+
+	mu     sync.Mutex
+	byID   map[string]*Job
+	order  []string // submission order, for pruning
+	nextID int
+	closed bool
+
+	wg       sync.WaitGroup
+	runningN atomic.Int64
+
+	submitted, completed, failed, canceled, rejected *obs.Counter
+	depth, running                                   *obs.Gauge
+}
+
+// NewQueue starts a queue with the given worker count, buffer depth, and
+// default per-job timeout (0 = no deadline). The tracer (nil-safe)
+// receives queue metrics under "queue/".
+func NewQueue(workers, depth int, timeout time.Duration, tr *obs.Tracer) *Queue {
+	if workers <= 0 {
+		workers = 1
+	}
+	if depth <= 0 {
+		depth = 16
+	}
+	q := &Queue{
+		ch:        make(chan *Job, depth),
+		timeout:   timeout,
+		byID:      make(map[string]*Job),
+		submitted: tr.Counter("queue/submitted"),
+		completed: tr.Counter("queue/completed"),
+		failed:    tr.Counter("queue/failed"),
+		canceled:  tr.Counter("queue/canceled"),
+		rejected:  tr.Counter("queue/rejected"),
+		depth:     tr.Gauge("queue/depth"),
+		running:   tr.Gauge("queue/running"),
+	}
+	q.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go q.worker()
+	}
+	return q
+}
+
+// Submit enqueues work. timeout overrides the queue default when positive.
+func (q *Queue) Submit(kind string, timeout time.Duration, fn JobFunc) (*Job, error) {
+	if timeout <= 0 {
+		timeout = q.timeout
+	}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return nil, ErrDraining
+	}
+	q.nextID++
+	j := &Job{
+		ID:      fmt.Sprintf("j%08d", q.nextID),
+		Kind:    kind,
+		fn:      fn,
+		timeout: timeout,
+		state:   JobQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	select {
+	case q.ch <- j:
+	default:
+		q.nextID--
+		q.mu.Unlock()
+		q.rejected.Inc()
+		return nil, ErrQueueFull
+	}
+	q.byID[j.ID] = j
+	q.order = append(q.order, j.ID)
+	q.pruneLocked()
+	q.mu.Unlock()
+	q.submitted.Inc()
+	q.depth.Set(float64(len(q.ch)))
+	return j, nil
+}
+
+// pruneLocked drops the oldest finished jobs beyond the retention cap.
+// Caller holds q.mu.
+func (q *Queue) pruneLocked() {
+	for len(q.order) > maxRetainedJobs {
+		pruned := false
+		for i, id := range q.order {
+			j := q.byID[id]
+			j.mu.Lock()
+			terminal := j.state == JobDone || j.state == JobFailed || j.state == JobCanceled
+			j.mu.Unlock()
+			if terminal {
+				delete(q.byID, id)
+				q.order = append(q.order[:i], q.order[i+1:]...)
+				pruned = true
+				break
+			}
+		}
+		if !pruned {
+			return // everything live; keep over cap rather than lose state
+		}
+	}
+}
+
+// Get looks a job up by ID.
+func (q *Queue) Get(id string) (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.byID[id]
+	return j, ok
+}
+
+// Depth returns the number of queued (not yet running) jobs.
+func (q *Queue) Depth() int { return len(q.ch) }
+
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for j := range q.ch {
+		q.depth.Set(float64(len(q.ch)))
+		q.run(j)
+	}
+}
+
+func (q *Queue) run(j *Job) {
+	j.mu.Lock()
+	if j.state != JobQueued { // canceled while waiting
+		j.mu.Unlock()
+		return
+	}
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if j.timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, j.timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	j.state = JobRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	j.mu.Unlock()
+	q.running.Set(float64(q.runningN.Add(1)))
+
+	res, err := j.fn(ctx)
+	cancel()
+	q.running.Set(float64(q.runningN.Add(-1)))
+
+	j.mu.Lock()
+	j.finished = time.Now()
+	j.result = res
+	switch {
+	case err == nil:
+		j.state = JobDone
+		q.completed.Inc()
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.state = JobCanceled
+		j.err = err.Error()
+		q.canceled.Inc()
+	default:
+		j.state = JobFailed
+		j.err = err.Error()
+		q.failed.Inc()
+	}
+	close(j.done)
+	j.mu.Unlock()
+}
+
+// Drain stops accepting work and waits for in-flight jobs. If ctx expires
+// first, running jobs are canceled and Drain waits for them to unwind (the
+// solvers abort at their next cancellation check).
+func (q *Queue) Drain(ctx context.Context) error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return nil
+	}
+	q.closed = true
+	close(q.ch)
+	q.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		q.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	// Grace expired: force-cancel everything still live.
+	q.mu.Lock()
+	for _, j := range q.byID {
+		j.Cancel()
+	}
+	q.mu.Unlock()
+	<-done
+	return ctx.Err()
+}

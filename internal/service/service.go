@@ -1,0 +1,616 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/gatelib"
+	"repro/internal/lattice"
+	"repro/internal/logic/bench"
+	"repro/internal/logic/network"
+	"repro/internal/obs"
+	"repro/internal/sidb"
+	"repro/internal/sim"
+)
+
+// Config tunes the design service.
+type Config struct {
+	// Workers is the job worker pool size (default 2).
+	Workers int
+	// QueueDepth bounds queued-but-not-running jobs (default 4*Workers).
+	QueueDepth int
+	// JobTimeout is the default per-job deadline; requests can shorten it
+	// via timeout_ms but never extend it. Zero means no deadline.
+	JobTimeout time.Duration
+	// CacheBytes bounds the in-memory result cache (default 64 MiB).
+	CacheBytes int64
+	// CacheDir, when set, enables the persistent flow-artifact layer.
+	CacheDir string
+	// Solver is the default ground-state solver name ("" = automatic
+	// dispatch; see sim.SolverNames).
+	Solver string
+	// Tracer receives server-wide metrics (queue depth, cache hit rates,
+	// request counters). Per-job flow reports use their own tracers, so
+	// the shared tracer only ever sees concurrency-safe metric types.
+	Tracer *obs.Tracer
+}
+
+// Server is the bestagond HTTP service: a JSON API over the design flow,
+// simulation, and gate validation, backed by a bounded job queue and a
+// content-addressed result cache.
+type Server struct {
+	cfg     Config
+	tr      *obs.Tracer
+	queue   *Queue
+	lru     *cache.LRU
+	flow    *cache.FlowCache
+	lib     *gatelib.Library
+	mux     *http.ServeMux
+	started time.Time
+}
+
+// New builds a server (it does not listen; see Handler).
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	if cfg.Tracer == nil {
+		// The server always carries a tracer so /metrics has content even
+		// when the daemon was started without observability flags.
+		cfg.Tracer = obs.New()
+	}
+	if cfg.Solver != "" {
+		if _, err := sim.Lookup(cfg.Solver); err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+	}
+	s := &Server{
+		cfg:     cfg,
+		tr:      cfg.Tracer,
+		lru:     cache.NewLRU(cfg.CacheBytes),
+		lib:     gatelib.NewLibrary(),
+		started: time.Now(),
+	}
+	s.lru.Instrument(s.tr, "cache/mem")
+	s.flow = &cache.FlowCache{Mem: s.lru}
+	if cfg.CacheDir != "" {
+		d, err := cache.NewDisk(cfg.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		s.flow.Disk = d
+	}
+	s.queue = NewQueue(cfg.Workers, cfg.QueueDepth, cfg.JobTimeout, s.tr)
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/flow", s.handleFlow)
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/gates/validate", s.handleValidate)
+	s.mux.HandleFunc("GET /v1/gates", s.handleGates)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Queue exposes the job queue (for tests and the daemon's drain path).
+func (s *Server) Queue() *Queue { return s.queue }
+
+// CacheStats snapshots the in-memory result cache.
+func (s *Server) CacheStats() cache.Stats { return s.lru.Stats() }
+
+// Drain stops accepting jobs and waits for in-flight work (see
+// Queue.Drain).
+func (s *Server) Drain(ctx context.Context) error { return s.queue.Drain(ctx) }
+
+// ---- request/response plumbing ----
+
+// jobResult is what every job kind stores on completion: the canonical
+// response body plus where it came from. Serving the stored bytes verbatim
+// is what makes warm responses byte-identical to cold ones.
+type jobResult struct {
+	body   []byte
+	source string // cache.SourceMem, cache.SourceDisk, "miss", "bypass"
+}
+
+func (r *jobResult) cacheHeader() string {
+	switch r.source {
+	case cache.SourceMem, cache.SourceDisk, "hit":
+		return "hit"
+	default:
+		return "miss"
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding failure"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(b, '\n'))
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// submit enqueues fn, applying queue backpressure to the response.
+func (s *Server) submit(w http.ResponseWriter, kind string, timeoutMS int64, fn JobFunc) (*Job, bool) {
+	timeout := time.Duration(timeoutMS) * time.Millisecond
+	if s.cfg.JobTimeout > 0 && (timeout <= 0 || timeout > s.cfg.JobTimeout) {
+		timeout = s.cfg.JobTimeout
+	}
+	j, err := s.queue.Submit(kind, timeout, fn)
+	switch err {
+	case nil:
+		return j, true
+	case ErrQueueFull:
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, "job queue is full (depth %d)", s.cfg.QueueDepth)
+	case ErrDraining:
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+	default:
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+	}
+	return nil, false
+}
+
+// await blocks until the job finishes or the client goes away (which
+// cancels the job), then writes the job's canonical response.
+func (s *Server) await(w http.ResponseWriter, r *http.Request, j *Job) {
+	select {
+	case <-j.Done():
+	case <-r.Context().Done():
+		j.Cancel()
+		<-j.Done()
+	}
+	res, errMsg := j.Result()
+	switch j.State() {
+	case JobDone:
+		jr := res.(*jobResult)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Job-Id", j.ID)
+		w.Header().Set("X-Cache", jr.cacheHeader())
+		w.WriteHeader(http.StatusOK)
+		w.Write(jr.body)
+	case JobCanceled:
+		w.Header().Set("X-Job-Id", j.ID)
+		writeErr(w, http.StatusGatewayTimeout, "job %s canceled: %s", j.ID, errMsg)
+	default:
+		w.Header().Set("X-Job-Id", j.ID)
+		writeErr(w, http.StatusUnprocessableEntity, "job %s failed: %s", j.ID, errMsg)
+	}
+}
+
+// ---- /v1/flow ----
+
+type flowRequest struct {
+	// Bench names a built-in Table 1 benchmark; Source provides an inline
+	// netlist instead (Format "bench" or "verilog").
+	Bench  string `json:"bench,omitempty"`
+	Source string `json:"source,omitempty"`
+	Format string `json:"format,omitempty"`
+	Name   string `json:"name,omitempty"`
+	// Engine is "auto" (default), "exact", or "ortho".
+	Engine string `json:"engine,omitempty"`
+	// CellSim enables whole-layout ground-state simulation; Solver picks
+	// the backend for it.
+	CellSim bool   `json:"cellsim,omitempty"`
+	Solver  string `json:"solver,omitempty"`
+	// MaxArea / ConflictBudget tune the exact engine.
+	MaxArea        int   `json:"max_area,omitempty"`
+	ConflictBudget int64 `json:"conflict_budget,omitempty"`
+	// SQD / Report request the SiQAD file and the stage report.
+	SQD    bool `json:"sqd,omitempty"`
+	Report bool `json:"report,omitempty"`
+	// TimeoutMS shortens the job deadline; NoCache bypasses the result
+	// cache; Async returns 202 with a job ID instead of waiting.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	NoCache   bool  `json:"nocache,omitempty"`
+	Async     bool  `json:"async,omitempty"`
+}
+
+func (s *Server) parseSpec(req *flowRequest) (*network.XAG, error) {
+	switch {
+	case req.Bench != "" && req.Source != "":
+		return nil, fmt.Errorf("bench and source are mutually exclusive")
+	case req.Bench != "":
+		return bench.Load(req.Bench)
+	case req.Source == "":
+		return nil, fmt.Errorf("one of bench or source is required")
+	case req.Format == "verilog":
+		return bench.ParseVerilog(req.Source)
+	case req.Format == "" || req.Format == "bench":
+		name := req.Name
+		if name == "" {
+			name = "inline"
+		}
+		return bench.ParseBench(name, req.Source)
+	default:
+		return nil, fmt.Errorf("unknown format %q (want bench or verilog)", req.Format)
+	}
+}
+
+func parseEngine(name string) (core.Engine, error) {
+	switch name {
+	case "", "auto":
+		return core.EngineAuto, nil
+	case "exact":
+		return core.EngineExact, nil
+	case "ortho":
+		return core.EngineOrtho, nil
+	default:
+		return 0, fmt.Errorf("unknown engine %q (want auto, exact, or ortho)", name)
+	}
+}
+
+func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
+	s.tr.Counter("http/flow").Inc()
+	var req flowRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	spec, err := s.parseSpec(&req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	engine, err := parseEngine(req.Engine)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	solver := req.Solver
+	if solver == "" {
+		solver = s.cfg.Solver
+	}
+	if req.CellSim {
+		if _, err := sim.Lookup(solver); err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	opts := core.Options{
+		Engine:       engine,
+		CellSim:      req.CellSim,
+		GroundSolver: solver,
+	}
+	opts.Exact.MaxArea = req.MaxArea
+	opts.Exact.ConflictBudget = req.ConflictBudget
+
+	fn := func(ctx context.Context) (any, error) {
+		var art *cache.FlowArtifact
+		source := cache.SourceBypass
+		var err error
+		if req.NoCache {
+			art, err = cache.RunFlow(ctx, spec, opts, req.SQD, req.Report)
+		} else {
+			art, source, err = s.flow.Run(ctx, spec, opts, req.SQD, req.Report)
+		}
+		if err != nil {
+			return nil, err
+		}
+		body, err := json.Marshal(art)
+		if err != nil {
+			return nil, err
+		}
+		return &jobResult{body: append(body, '\n'), source: source}, nil
+	}
+	j, ok := s.submit(w, "flow", req.TimeoutMS, fn)
+	if !ok {
+		return
+	}
+	if req.Async {
+		w.Header().Set("Location", "/v1/jobs/"+j.ID)
+		writeJSON(w, http.StatusAccepted, j.Snapshot())
+		return
+	}
+	s.await(w, r, j)
+}
+
+// ---- /v1/simulate ----
+
+type dotRequest struct {
+	X    int    `json:"x"`
+	Y    int    `json:"y"`
+	Role string `json:"role,omitempty"`
+}
+
+type simulateRequest struct {
+	// Gate names a library tile by variant key (see GET /v1/gates); Dots
+	// gives an explicit layout instead.
+	Gate string       `json:"gate,omitempty"`
+	Dots []dotRequest `json:"dots,omitempty"`
+	// Params are the physical parameters (default: the paper's Fig. 5).
+	Params *struct {
+		MuMinus  float64 `json:"mu_minus"`
+		EpsR     float64 `json:"eps_r"`
+		LambdaTF float64 `json:"lambda_tf"`
+	} `json:"params,omitempty"`
+	Solver    string `json:"solver,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+	Async     bool   `json:"async,omitempty"`
+}
+
+type simulateResponse struct {
+	Solver   string  `json:"solver"`
+	Exact    bool    `json:"exact"`
+	Dots     int     `json:"dots"`
+	FreeDots int     `json:"free_dots"`
+	EnergyEV float64 `json:"energy_ev"`
+	// Charges[i] is 1 when dot i (request order) is DB- in the ground
+	// state.
+	Charges []int `json:"charges"`
+}
+
+func parseRole(role string) (sidb.Role, error) {
+	switch role {
+	case "", "normal":
+		return sidb.RoleNormal, nil
+	case "perturber":
+		return sidb.RolePerturber, nil
+	case "input":
+		return sidb.RoleInput, nil
+	case "output":
+		return sidb.RoleOutput, nil
+	default:
+		return 0, fmt.Errorf("unknown dot role %q", role)
+	}
+}
+
+func (s *Server) simLayout(req *simulateRequest) (*sidb.Layout, error) {
+	switch {
+	case req.Gate != "" && len(req.Dots) > 0:
+		return nil, fmt.Errorf("gate and dots are mutually exclusive")
+	case req.Gate != "":
+		d, _, ok := s.lib.Design(req.Gate)
+		if !ok {
+			return nil, fmt.Errorf("unknown gate %q (see GET /v1/gates)", req.Gate)
+		}
+		return d.Layout(0, 0), nil
+	case len(req.Dots) == 0:
+		return nil, fmt.Errorf("one of gate or dots is required")
+	default:
+		l := &sidb.Layout{Name: "request"}
+		for _, d := range req.Dots {
+			role, err := parseRole(d.Role)
+			if err != nil {
+				return nil, err
+			}
+			l.Add(lattice.FromCell(d.X, d.Y), role)
+		}
+		return l, nil
+	}
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	s.tr.Counter("http/simulate").Inc()
+	var req simulateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	layout, err := s.simLayout(&req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	params := sim.ParamsFig5
+	if req.Params != nil {
+		params = sim.Params{MuMinus: req.Params.MuMinus, EpsR: req.Params.EpsR, LambdaTF: req.Params.LambdaTF}
+	}
+	solverName := req.Solver
+	if solverName == "" {
+		solverName = s.cfg.Solver
+	}
+	inner, err := sim.Lookup(solverName)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cached := &cache.CachedSolver{Inner: inner, Cache: s.lru}
+
+	fn := func(ctx context.Context) (any, error) {
+		eng := sim.NewEngine(layout, params)
+		sol, hit, err := cached.SolveTrack(eng, sim.SolveOptions{Ctx: ctx})
+		if err != nil {
+			return nil, err
+		}
+		resp := simulateResponse{
+			Solver:   sol.Solver,
+			Exact:    sol.Exact,
+			Dots:     eng.NumDots(),
+			FreeDots: len(eng.FreeIndices()),
+			EnergyEV: sol.EnergyEV,
+			Charges:  make([]int, len(sol.Charges)),
+		}
+		for i, c := range sol.Charges {
+			if c {
+				resp.Charges[i] = 1
+			}
+		}
+		body, err := json.Marshal(resp)
+		if err != nil {
+			return nil, err
+		}
+		source := "miss"
+		if hit {
+			source = "hit"
+		}
+		return &jobResult{body: append(body, '\n'), source: source}, nil
+	}
+	j, ok := s.submit(w, "simulate", req.TimeoutMS, fn)
+	if !ok {
+		return
+	}
+	if req.Async {
+		w.Header().Set("Location", "/v1/jobs/"+j.ID)
+		writeJSON(w, http.StatusAccepted, j.Snapshot())
+		return
+	}
+	s.await(w, r, j)
+}
+
+// ---- /v1/gates and /v1/gates/validate ----
+
+type validateRequest struct {
+	Gate   string `json:"gate"`
+	Solver string `json:"solver,omitempty"`
+	Params *struct {
+		MuMinus  float64 `json:"mu_minus"`
+		EpsR     float64 `json:"eps_r"`
+		LambdaTF float64 `json:"lambda_tf"`
+	} `json:"params,omitempty"`
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+type validateResponse struct {
+	Gate     string  `json:"gate"`
+	OK       bool    `json:"ok"`
+	Outputs  []int   `json:"outputs"`
+	MinGapEV float64 `json:"min_gap_ev"`
+	Method   string  `json:"method"`
+}
+
+func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
+	s.tr.Counter("http/validate").Inc()
+	var req validateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	d, f, ok := s.lib.Design(req.Gate)
+	if !ok {
+		writeErr(w, http.StatusBadRequest, "unknown gate %q (see GET /v1/gates)", req.Gate)
+		return
+	}
+	params := sim.ParamsFig5
+	if req.Params != nil {
+		params = sim.Params{MuMinus: req.Params.MuMinus, EpsR: req.Params.EpsR, LambdaTF: req.Params.LambdaTF}
+	}
+	solverName := req.Solver
+	if solverName == "" {
+		solverName = s.cfg.Solver
+	}
+	if _, err := sim.Lookup(solverName); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	fn := func(ctx context.Context) (any, error) {
+		v, hit, err := cache.CachedValidate(s.lru, d, gatelib.TruthOf(f), params,
+			gatelib.ValidateOptions{Solver: solverName})
+		if err != nil {
+			return nil, err
+		}
+		body, err := json.Marshal(validateResponse{
+			Gate: req.Gate, OK: v.OK, Outputs: v.Outputs,
+			MinGapEV: v.MinGapEV, Method: v.Method,
+		})
+		if err != nil {
+			return nil, err
+		}
+		source := "miss"
+		if hit {
+			source = "hit"
+		}
+		return &jobResult{body: append(body, '\n'), source: source}, nil
+	}
+	j, ok := s.submit(w, "validate", req.TimeoutMS, fn)
+	if !ok {
+		return
+	}
+	s.await(w, r, j)
+}
+
+func (s *Server) handleGates(w http.ResponseWriter, r *http.Request) {
+	keys := s.lib.Variants()
+	sort.Strings(keys)
+	writeJSON(w, http.StatusOK, map[string]any{"gates": keys})
+}
+
+// ---- jobs, health, metrics ----
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.queue.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	st := j.Snapshot()
+	out := map[string]any{"job": st}
+	if res, _ := j.Result(); res != nil {
+		if jr, ok := res.(*jobResult); ok {
+			out["cache"] = jr.cacheHeader()
+			out["result"] = json.RawMessage(jr.body)
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.queue.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusAccepted, j.Snapshot())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":             true,
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"workers":        s.cfg.Workers,
+		"queue_depth":    s.queue.Depth(),
+	})
+}
+
+// handleMetrics renders every tracer metric plus the cache stats as plain
+// "name value" lines (slashes normalized to underscores).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	var lines []string
+	add := func(name string, value float64) {
+		lines = append(lines, fmt.Sprintf("%s %g", strings.ReplaceAll(name, "/", "_"), value))
+	}
+	if rep := s.tr.Report("server"); rep != nil {
+		for name, m := range rep.Metrics {
+			switch m.Type {
+			case "counter", "gauge":
+				add(name, m.Value)
+			case "histogram":
+				add(name+"/count", float64(m.Count))
+				add(name+"/sum", m.Sum)
+			}
+		}
+	}
+	st := s.lru.Stats()
+	add("cache/mem/stats/hits", float64(st.Hits))
+	add("cache/mem/stats/misses", float64(st.Misses))
+	add("cache/mem/stats/evictions", float64(st.Evictions))
+	add("cache/mem/stats/entries", float64(st.Entries))
+	add("cache/mem/stats/bytes", float64(st.Bytes))
+	add("cache/mem/stats/hit_rate", st.HitRate())
+	add("queue/depth_now", float64(s.queue.Depth()))
+	sort.Strings(lines)
+	fmt.Fprintln(w, strings.Join(lines, "\n"))
+}

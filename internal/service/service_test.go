@@ -1,0 +1,445 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	_ "repro/internal/sim/quickexact" // register the pruned exact backend
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// fourDots is a tiny exact-solvable simulate request payload.
+func fourDots() map[string]any {
+	return map[string]any{
+		"solver": "exgs",
+		"dots": []map[string]any{
+			{"x": 0, "y": 0},
+			{"x": 3, "y": 0, "role": "perturber"},
+			{"x": 0, "y": 4},
+			{"x": 3, "y": 4, "role": "perturber"},
+		},
+	}
+}
+
+func TestSimulateWarmCacheByteIdentical(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	resp1, body1 := postJSON(t, ts.URL+"/v1/simulate", fourDots())
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("cold simulate: %d %s", resp1.StatusCode, body1)
+	}
+	if got := resp1.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("cold X-Cache = %q", got)
+	}
+	resp2, body2 := postJSON(t, ts.URL+"/v1/simulate", fourDots())
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("warm simulate: %d %s", resp2.StatusCode, body2)
+	}
+	if got := resp2.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("warm X-Cache = %q", got)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("warm body differs:\n%s\n%s", body1, body2)
+	}
+	var sr simulateResponse
+	if err := json.Unmarshal(body1, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Exact || sr.Dots != 4 || sr.FreeDots != 2 || len(sr.Charges) != 4 {
+		t.Fatalf("bad simulate response: %+v", sr)
+	}
+}
+
+func TestFlowWarmCacheByteIdentical(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	req := map[string]any{"bench": "xor2", "engine": "ortho", "sqd": true}
+	resp1, body1 := postJSON(t, ts.URL+"/v1/flow", req)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("cold flow: %d %s", resp1.StatusCode, body1)
+	}
+	if got := resp1.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("cold X-Cache = %q", got)
+	}
+	resp2, body2 := postJSON(t, ts.URL+"/v1/flow", req)
+	if got := resp2.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("warm X-Cache = %q", got)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatal("warm flow body differs from cold")
+	}
+	var art struct {
+		Name  string `json:"name"`
+		SiDBs int    `json:"sidbs"`
+		SQD   string `json:"sqd"`
+	}
+	if err := json.Unmarshal(body1, &art); err != nil {
+		t.Fatal(err)
+	}
+	if art.Name != "xor2" || art.SiDBs == 0 || !strings.Contains(art.SQD, "siqad") {
+		t.Fatalf("bad flow artifact: name=%q sidbs=%d", art.Name, art.SiDBs)
+	}
+}
+
+func TestFlowDiskCacheSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Config{Workers: 1, CacheDir: dir})
+	req := map[string]any{"bench": "xor2", "engine": "ortho"}
+	resp1, body1 := postJSON(t, ts.URL+"/v1/flow", req)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("cold flow: %d %s", resp1.StatusCode, body1)
+	}
+	// A fresh server over the same cache dir must hit the disk layer.
+	_, ts2 := newTestServer(t, Config{Workers: 1, CacheDir: dir})
+	resp2, body2 := postJSON(t, ts2.URL+"/v1/flow", req)
+	if got := resp2.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("restarted server X-Cache = %q", got)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatal("disk-replayed body differs")
+	}
+}
+
+// TestFlowCancellation is the flow-wide cancellation acceptance test: the
+// exact engine on majority_5_r1 runs for several seconds cold (measured
+// ~5s), so a 200ms job deadline can only be met by the SAT search aborting
+// mid-run. The request must come back canceled well under the cold
+// runtime.
+func TestFlowCancellation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	start := time.Now()
+	resp, body := postJSON(t, ts.URL+"/v1/flow", map[string]any{
+		"bench":      "majority_5_r1",
+		"engine":     "exact",
+		"timeout_ms": 200,
+	})
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("expected 504, got %d: %s", resp.StatusCode, body)
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("cancellation took %v; the solver did not stop", elapsed)
+	}
+	if !strings.Contains(string(body), "canceled") {
+		t.Fatalf("body does not report cancellation: %s", body)
+	}
+}
+
+// TestSimulateCancellation aborts an exhaustive enumeration that would
+// otherwise effectively never finish (2^38 configurations).
+func TestSimulateCancellation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	var dots []map[string]any
+	for i := 0; i < 38; i++ {
+		dots = append(dots, map[string]any{"x": (i % 8) * 3, "y": (i / 8) * 4})
+	}
+	start := time.Now()
+	resp, body := postJSON(t, ts.URL+"/v1/simulate", map[string]any{
+		"solver":     "exgs",
+		"dots":       dots,
+		"timeout_ms": 150,
+	})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("expected 504, got %d: %s", resp.StatusCode, body)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+func TestAsyncFlowJobLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, body := postJSON(t, ts.URL+"/v1/flow", map[string]any{
+		"bench": "xor2", "engine": "ortho", "async": true,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit: %d %s", resp.StatusCode, body)
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" {
+		t.Fatalf("no job id in %s", body)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		r, b := getURL(t, ts.URL+"/v1/jobs/"+st.ID)
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("job get: %d %s", r.StatusCode, b)
+		}
+		var out struct {
+			Job    Status          `json:"job"`
+			Result json.RawMessage `json:"result"`
+		}
+		if err := json.Unmarshal(b, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Job.State == JobDone {
+			if len(out.Result) == 0 {
+				t.Fatal("done job has no result")
+			}
+			break
+		}
+		if out.Job.State == JobFailed || out.Job.State == JobCanceled {
+			t.Fatalf("job ended %s: %s", out.Job.State, out.Job.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", out.Job.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestJobDeleteCancels(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	var dots []map[string]any
+	for i := 0; i < 38; i++ {
+		dots = append(dots, map[string]any{"x": (i % 8) * 3, "y": (i / 8) * 4})
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/simulate", map[string]any{
+		"solver": "exgs", "dots": dots, "async": true,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit: %d %s", resp.StatusCode, body)
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		r, b := getURL(t, ts.URL+"/v1/jobs/"+st.ID)
+		r.Body.Close()
+		var out struct {
+			Job Status `json:"job"`
+		}
+		if err := json.Unmarshal(b, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Job.State == JobCanceled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job not canceled: %s", out.Job.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestBackpressure429(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	// Saturate the single worker and the one queue slot with parked jobs.
+	release := make(chan struct{})
+	defer close(release)
+	j1, err := s.Queue().Submit("park", 0, blockingJob(release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j1, JobRunning)
+	if _, err := s.Queue().Submit("park", 0, blockingJob(release)); err != nil {
+		t.Fatal(err)
+	}
+	waitDepth(t, s, 1)
+	resp, body := postJSON(t, ts.URL+"/v1/simulate", fourDots())
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("expected 429, got %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+}
+
+func waitDepth(t *testing.T, s *Server, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Queue().Depth() == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("queue depth never reached %d", want)
+}
+
+func TestGatesValidateAndMetadata(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	r, b := getURL(t, ts.URL+"/v1/gates")
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("gates: %d %s", r.StatusCode, b)
+	}
+	var gl struct {
+		Gates []string `json:"gates"`
+	}
+	if err := json.Unmarshal(b, &gl); err != nil {
+		t.Fatal(err)
+	}
+	if len(gl.Gates) == 0 {
+		t.Fatal("no gates listed")
+	}
+	var wire string
+	for _, g := range gl.Gates {
+		if strings.HasPrefix(g, "wire:") {
+			wire = g
+			break
+		}
+	}
+	if wire == "" {
+		t.Fatalf("no wire variant in %v", gl.Gates)
+	}
+	resp1, body1 := postJSON(t, ts.URL+"/v1/gates/validate", map[string]any{"gate": wire})
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("validate: %d %s", resp1.StatusCode, body1)
+	}
+	var v validateResponse
+	if err := json.Unmarshal(body1, &v); err != nil {
+		t.Fatal(err)
+	}
+	if !v.OK {
+		t.Fatalf("library wire failed validation: %s", body1)
+	}
+	resp2, body2 := postJSON(t, ts.URL+"/v1/gates/validate", map[string]any{"gate": wire})
+	if got := resp2.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("warm validate X-Cache = %q", got)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatal("warm validate body differs")
+	}
+
+	r, b = getURL(t, ts.URL+"/healthz")
+	if r.StatusCode != http.StatusOK || !strings.Contains(string(b), `"ok":true`) {
+		t.Fatalf("healthz: %d %s", r.StatusCode, b)
+	}
+	r, b = getURL(t, ts.URL+"/metrics")
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", r.StatusCode)
+	}
+	for _, want := range []string{"cache_mem_stats_hits", "queue_submitted"} {
+		if !strings.Contains(string(b), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, b)
+		}
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	cases := []struct {
+		path string
+		body map[string]any
+	}{
+		{"/v1/flow", map[string]any{}},
+		{"/v1/flow", map[string]any{"bench": "nope"}},
+		{"/v1/flow", map[string]any{"bench": "xor2", "engine": "warp"}},
+		{"/v1/simulate", map[string]any{}},
+		{"/v1/simulate", map[string]any{"gate": "nope"}},
+		{"/v1/simulate", map[string]any{"dots": []map[string]any{{"x": 0, "y": 0, "role": "weird"}}}},
+		{"/v1/gates/validate", map[string]any{"gate": "nope"}},
+	}
+	for _, c := range cases {
+		resp, body := postJSON(t, ts.URL+c.path, c.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s %v: expected 400, got %d: %s", c.path, c.body, resp.StatusCode, body)
+		}
+	}
+	r, _ := getURL(t, ts.URL+"/v1/jobs/j99999999")
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing job: expected 404, got %d", r.StatusCode)
+	}
+}
+
+// TestConcurrentRequests hammers the service from many goroutines; under
+// -race it is the end-to-end data-race test over the queue, worker pool,
+// and sharded cache.
+func TestConcurrentRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 64})
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				switch i % 3 {
+				case 0:
+					req := fourDots()
+					// Vary the layout so some requests miss and some hit.
+					req["dots"] = append(req["dots"].([]map[string]any),
+						map[string]any{"x": 6 + g%2, "y": 0})
+					resp, body := postJSON(t, ts.URL+"/v1/simulate", req)
+					if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
+						errs <- fmt.Errorf("simulate: %d %s", resp.StatusCode, body)
+					}
+				case 1:
+					r, _ := getURL(t, ts.URL+"/metrics")
+					if r.StatusCode != http.StatusOK {
+						errs <- fmt.Errorf("metrics: %d", r.StatusCode)
+					}
+				case 2:
+					r, _ := getURL(t, ts.URL+"/healthz")
+					if r.StatusCode != http.StatusOK {
+						errs <- fmt.Errorf("healthz: %d", r.StatusCode)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func getURL(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}

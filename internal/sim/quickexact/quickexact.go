@@ -40,6 +40,7 @@
 package quickexact
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -80,6 +81,10 @@ type Options struct {
 	// Tracer receives concurrency-safe search metrics (counters, gauges,
 	// histograms — no spans); nil disables them at no cost.
 	Tracer *obs.Tracer
+	// Ctx interrupts the search when cancelled or past its deadline: every
+	// worker stops within ~1024 visited nodes and GroundState returns the
+	// context's error. Nil behaves like context.Background.
+	Ctx context.Context
 }
 
 // Stats describes one search.
@@ -123,6 +128,9 @@ func (s Solver) Solve(e *sim.Engine, opts sim.SolveOptions) (sim.Solution, error
 	o := s.Opts
 	if o.Tracer == nil {
 		o.Tracer = opts.Tracer
+	}
+	if o.Ctx == nil {
+		o.Ctx = opts.Ctx
 	}
 	gs, en, _, err := GroundState(e, o)
 	if err != nil {
@@ -275,7 +283,8 @@ func GroundState(e *sim.Engine, opts Options) ([]bool, float64, Stats, error) {
 
 	// Incumbent: a short deterministic anneal seeds the upper bound so the
 	// bound prune bites from the very first node.
-	seedCfg, seedE := e.Anneal(sim.AnnealConfig{Seed: 1, Restarts: 2, Sweeps: 150, TStart: 0.3, TEnd: 0.001})
+	ctx := opts.Ctx
+	seedCfg, seedE := e.Anneal(sim.AnnealConfig{Seed: 1, Restarts: 2, Sweeps: 150, TStart: 0.3, TEnd: 0.001, Ctx: ctx})
 	st.SeedEnergyEV = seedE
 
 	workers := opts.Workers
@@ -308,6 +317,7 @@ func GroundState(e *sim.Engine, opts Options) ([]bool, float64, Stats, error) {
 	// Enumerate the top levels into shard tasks, applying the same pruning
 	// rules so dead prefixes never spawn work.
 	gen := newSearcher(nu, ons, WU, eBase, &best, budget)
+	gen.ctx = ctx
 	gen.cutDepth = depth
 	var tasks [][]int8
 	gen.emit = func(prefix []int8) { tasks = append(tasks, prefix) }
@@ -337,6 +347,7 @@ func GroundState(e *sim.Engine, opts Options) ([]bool, float64, Stats, error) {
 				defer wg.Done()
 				busy := time.Now()
 				s := newSearcher(nu, ons, WU, eBase, &best, budget)
+				s.ctx = ctx
 				s.cutDepth = nu
 				for ti := range next {
 					t0 := time.Now()
@@ -378,6 +389,13 @@ func GroundState(e *sim.Engine, opts Options) ([]bool, float64, Stats, error) {
 		st.MeanFrontierDepth = float64(pruneDepthSum) / float64(pruneEvents)
 	}
 
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			emit(opts.Tracer, &st)
+			return nil, 0, st, fmt.Errorf("quickexact: search canceled after %d nodes (%d free dots): %w",
+				st.Nodes, nf, err)
+		}
+	}
 	if budget != nil && atomic.LoadInt64(budget) < 0 {
 		emit(opts.Tracer, &st)
 		return nil, 0, st, fmt.Errorf("quickexact: node budget %d exhausted after %d nodes (%d free dots)",
@@ -462,6 +480,8 @@ type searcher struct {
 	pruneDepthSum, pruneEvents     int64
 	budget                         *int64
 	budgetExceeded                 bool
+	ctx                            context.Context // nil = never canceled
+	canceled                       bool
 
 	haveBest   bool
 	bestE      float64
@@ -538,13 +558,17 @@ func (s *searcher) popCharge(u int) {
 }
 
 func (s *searcher) dfs(k int) {
-	if s.budgetExceeded {
+	if s.budgetExceeded || s.canceled {
 		return
 	}
 	s.nodes++
-	if s.budget != nil && s.nodes&1023 == 0 {
-		if atomic.AddInt64(s.budget, -1024) < 0 {
+	if s.nodes&1023 == 0 {
+		if s.budget != nil && atomic.AddInt64(s.budget, -1024) < 0 {
 			s.budgetExceeded = true
+			return
+		}
+		if s.ctx != nil && s.ctx.Err() != nil {
+			s.canceled = true
 			return
 		}
 	}

@@ -15,9 +15,11 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+	"os"
 
 	"repro/internal/lattice"
 	"repro/internal/obs"
@@ -177,13 +179,23 @@ func (e *Engine) GroundState() ([]bool, float64) {
 // ExactLimit is the maximum number of free dots for exhaustive search.
 const ExactLimit = 22
 
+// ExhaustiveDegrades counts, process-wide, how often an exact Exhaustive
+// request silently degraded to simulated annealing because the instance
+// exceeded the 63-free-dot enumeration capability. The zero value is ready
+// to use; it is also mirrored onto any tracer passed to the solvers.
+var ExhaustiveDegrades obs.Counter
+
 // Exhaustive enumerates all charge configurations of the free dots and
 // returns a minimum-energy configuration (SiQAD's ExGS equivalent). When
 // the instance exceeds the 63-free-dot enumeration capability it degrades
-// to simulated annealing; use ExhaustiveChecked to detect that case.
+// to simulated annealing; the degrade increments ExhaustiveDegrades and
+// warns on stderr. Use ExhaustiveChecked to detect the case
+// programmatically.
 func (e *Engine) Exhaustive() ([]bool, float64) {
 	gs, en, err := e.ExhaustiveChecked()
 	if err != nil {
+		ExhaustiveDegrades.Inc()
+		fmt.Fprintf(os.Stderr, "sim: warning: %v; degrading exact request to simulated annealing (result no longer provably minimal)\n", err)
 		return e.Anneal(DefaultAnnealConfig())
 	}
 	return gs, en
@@ -193,6 +205,14 @@ func (e *Engine) Exhaustive() ([]bool, float64) {
 // and returns a minimum-energy configuration, or an error when the
 // instance exceeds the enumeration capability.
 func (e *Engine) ExhaustiveChecked() ([]bool, float64, error) {
+	return e.ExhaustiveContext(context.Background())
+}
+
+// ExhaustiveContext is ExhaustiveChecked under a context: cancellation or
+// deadline expiry aborts the enumeration with the context's error. A nil
+// context behaves like context.Background.
+func (e *Engine) ExhaustiveContext(ctx context.Context) ([]bool, float64, error) {
+	poll := ctx != nil && ctx.Done() != nil
 	n := len(e.Sites)
 	var freeIdx []int
 	for i := 0; i < n; i++ {
@@ -215,6 +235,11 @@ func (e *Engine) ExhaustiveChecked() ([]bool, float64, error) {
 	total := uint64(1) << len(freeIdx)
 	prevGray := uint64(0)
 	for k := uint64(1); k < total; k++ {
+		if poll && k&0x3FFF == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, fmt.Errorf("sim: exhaustive search canceled: %w", err)
+			}
+		}
 		gray := k ^ (k >> 1)
 		diff := gray ^ prevGray
 		prevGray = gray
@@ -253,6 +278,10 @@ type AnnealConfig struct {
 	// Tracer receives annealing telemetry (restart/sweep/accepted-move
 	// counts and the best-energy trace); nil disables it at no cost.
 	Tracer *obs.Tracer
+	// Ctx interrupts the annealing when cancelled: Anneal stops between
+	// sweeps and returns the best configuration found so far. Nil behaves
+	// like context.Background.
+	Ctx context.Context
 }
 
 // DefaultAnnealConfig returns settings calibrated for Bestagon-tile-sized
@@ -262,11 +291,16 @@ func DefaultAnnealConfig() AnnealConfig {
 }
 
 // Anneal runs simulated annealing over charge configurations and returns
-// the best configuration found. Deterministic for a given config.
+// the best configuration found. Deterministic for a given config. A
+// cancelled cfg.Ctx stops the search between sweeps; the best state found
+// so far is returned (use the context's error to detect the early stop).
 func (e *Engine) Anneal(cfg AnnealConfig) ([]bool, float64) {
 	tr := cfg.Tracer
 	sp := tr.Start("sim/anneal")
 	defer sp.End()
+	canceled := func() bool {
+		return cfg.Ctx != nil && cfg.Ctx.Err() != nil
+	}
 	var accepted, flipsTried int64
 	var energyTrace []float64 // best energy after each restart
 
@@ -284,6 +318,9 @@ func (e *Engine) Anneal(cfg AnnealConfig) ([]bool, float64) {
 	bestE := e.Energy(best)
 
 	for restart := 0; restart < cfg.Restarts; restart++ {
+		if canceled() {
+			break
+		}
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(restart)*7919))
 		cur := make([]bool, n)
 		for i := range cur {
@@ -304,6 +341,9 @@ func (e *Engine) Anneal(cfg AnnealConfig) ([]bool, float64) {
 		cool := math.Pow(cfg.TEnd/cfg.TStart, 1/float64(cfg.Sweeps))
 		temp := cfg.TStart
 		for sweep := 0; sweep < cfg.Sweeps; sweep++ {
+			if sweep&15 == 0 && canceled() {
+				break
+			}
 			for range freeIdx {
 				i := freeIdx[rng.Intn(len(freeIdx))]
 				delta := e.flipDelta(cur, i)
@@ -322,7 +362,7 @@ func (e *Engine) Anneal(cfg AnnealConfig) ([]bool, float64) {
 		}
 		// Greedy descent to the nearest local minimum.
 		improved := true
-		for improved {
+		for improved && !canceled() {
 			improved = false
 			for _, i := range freeIdx {
 				if d := e.flipDelta(cur, i); d < -1e-15 {

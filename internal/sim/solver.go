@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -27,6 +28,18 @@ type Solution struct {
 // concurrent regions).
 type SolveOptions struct {
 	Tracer *obs.Tracer
+	// Ctx interrupts the solve when cancelled or past its deadline; the
+	// solver returns the context's error instead of burning CPU to
+	// completion. Nil behaves like context.Background.
+	Ctx context.Context
+}
+
+// Context returns the options' context, defaulting to context.Background.
+func (o SolveOptions) Context() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // GroundStateSolver is a pluggable ground-state search backend.
@@ -117,7 +130,7 @@ func (exgsSolver) Name() string  { return "exgs" }
 func (exgsSolver) IsExact() bool { return true }
 
 func (exgsSolver) Solve(e *Engine, opts SolveOptions) (Solution, error) {
-	gs, en, err := e.ExhaustiveChecked()
+	gs, en, err := e.ExhaustiveContext(opts.Context())
 	if err != nil {
 		return Solution{}, err
 	}
@@ -135,7 +148,12 @@ func (annealSolver) IsExact() bool { return false }
 func (annealSolver) Solve(e *Engine, opts SolveOptions) (Solution, error) {
 	// The anneal config's own tracer hook emits spans, which are not safe
 	// for parallel solver workers; the solver path keeps to counters.
-	gs, en := e.Anneal(DefaultAnnealConfig())
+	cfg := DefaultAnnealConfig()
+	cfg.Ctx = opts.Ctx
+	gs, en := e.Anneal(cfg)
+	if err := opts.Context().Err(); err != nil {
+		return Solution{}, fmt.Errorf("sim: anneal canceled: %w", err)
+	}
 	opts.Tracer.Counter("sim/anneal/solves").Inc()
 	return Solution{Charges: gs, EnergyEV: en, Solver: "anneal", Exact: false}, nil
 }

@@ -11,6 +11,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/gatelayout"
@@ -79,6 +80,13 @@ func tseitin(s *sat.Solver, x *network.XAG, piLits []sat.Lit) []sat.Lit {
 // SAT miter. The networks must have identical PI/PO counts; PIs correspond
 // by index.
 func EquivalentNetworks(a, b *network.XAG) (Result, error) {
+	return EquivalentNetworksContext(context.Background(), a, b)
+}
+
+// EquivalentNetworksContext is EquivalentNetworks under a context:
+// cancellation or deadline expiry interrupts the miter solve and returns
+// the context's error. A nil context behaves like context.Background.
+func EquivalentNetworksContext(ctx context.Context, a, b *network.XAG) (Result, error) {
 	if a.NumPIs() != b.NumPIs() {
 		return Result{}, fmt.Errorf("verify: PI count mismatch: %d vs %d", a.NumPIs(), b.NumPIs())
 	}
@@ -105,7 +113,7 @@ func EquivalentNetworks(a, b *network.XAG) (Result, error) {
 		xorLits = append(xorLits, x)
 	}
 	s.AddClause(xorLits...)
-	status := s.Solve()
+	status := s.SolveContext(ctx)
 	m := s.Metrics()
 	switch status {
 	case sat.Unsat:
@@ -119,6 +127,9 @@ func EquivalentNetworks(a, b *network.XAG) (Result, error) {
 		}
 		return Result{Equivalent: false, Counterexample: cex, Conflicts: m.Conflicts, Metrics: m}, nil
 	default:
+		if ctx != nil && ctx.Err() != nil {
+			return Result{}, fmt.Errorf("verify: equivalence check canceled: %w", ctx.Err())
+		}
 		return Result{}, fmt.Errorf("verify: SAT solver returned %v", status)
 	}
 }
@@ -128,11 +139,17 @@ func EquivalentNetworks(a, b *network.XAG) (Result, error) {
 // correspondence is positional (layout pins are ordered row-major, matching
 // the placement order produced by the physical design engines).
 func EquivalentLayout(spec *network.XAG, l *gatelayout.Layout) (Result, error) {
+	return EquivalentLayoutContext(context.Background(), spec, l)
+}
+
+// EquivalentLayoutContext is EquivalentLayout under a context (see
+// EquivalentNetworksContext).
+func EquivalentLayoutContext(ctx context.Context, spec *network.XAG, l *gatelayout.Layout) (Result, error) {
 	extracted, err := l.ExtractNetwork()
 	if err != nil {
 		return Result{}, fmt.Errorf("verify: extraction failed: %w", err)
 	}
-	return EquivalentNetworks(spec, extracted)
+	return EquivalentNetworksContext(ctx, spec, extracted)
 }
 
 // ExhaustiveEquivalent cross-checks equivalence by simulating all input

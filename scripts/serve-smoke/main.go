@@ -1,0 +1,291 @@
+// Command serve-smoke is the end-to-end smoke test for the bestagond
+// daemon: it builds and boots the real binary, exercises every endpoint
+// (flow, simulate, validate, gates, jobs, healthz, metrics), checks that
+// a second pass is served from the cache (X-Cache: hit), fires a burst of
+// concurrent requests, and finally sends SIGTERM and verifies the daemon
+// drains and exits cleanly. Run from the repository root:
+//
+//	go run ./scripts/serve-smoke
+//	make serve-smoke
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+var base string
+
+func main() {
+	tmp, err := os.MkdirTemp("", "serve-smoke-*")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+
+	bin := filepath.Join(tmp, "bestagond")
+	step("building bestagond")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/bestagond")
+	build.Stdout, build.Stderr = os.Stderr, os.Stderr
+	if err := build.Run(); err != nil {
+		fatal(fmt.Errorf("build: %w", err))
+	}
+
+	addr := freeAddr()
+	base = "http://" + addr
+	step("starting daemon on " + addr)
+	daemon := exec.Command(bin,
+		"-addr", addr,
+		"-workers", "2",
+		"-cache-dir", filepath.Join(tmp, "cache"),
+		"-report", filepath.Join(tmp, "report.json"),
+	)
+	daemon.Stdout, daemon.Stderr = os.Stderr, os.Stderr
+	if err := daemon.Start(); err != nil {
+		fatal(err)
+	}
+	defer daemon.Process.Kill()
+
+	waitHealthy(30 * time.Second)
+
+	step("GET /v1/gates")
+	gates := struct {
+		Gates []string `json:"gates"`
+	}{}
+	mustGet("/v1/gates", &gates)
+	if len(gates.Gates) == 0 {
+		fatal(fmt.Errorf("empty gate library"))
+	}
+
+	step("cold pass: simulate, validate, flow")
+	simReq := map[string]any{"gate": gates.Gates[0]}
+	simCold, hit := mustPost("/v1/simulate", simReq)
+	if hit {
+		fatal(fmt.Errorf("cold simulate reported a cache hit"))
+	}
+	valReq := map[string]any{"gate": gates.Gates[0]}
+	valCold, _ := mustPost("/v1/gates/validate", valReq)
+	flowReq := map[string]any{"bench": "xor2", "engine": "ortho", "sqd": true}
+	flowCold, hit := mustPost("/v1/flow", flowReq)
+	if hit {
+		fatal(fmt.Errorf("cold flow reported a cache hit"))
+	}
+
+	step("warm pass: responses must be cache hits and byte-identical")
+	for _, c := range []struct {
+		path string
+		req  map[string]any
+		cold []byte
+	}{
+		{"/v1/simulate", simReq, simCold},
+		{"/v1/gates/validate", valReq, valCold},
+		{"/v1/flow", flowReq, flowCold},
+	} {
+		warm, hit := mustPost(c.path, c.req)
+		if !hit {
+			fatal(fmt.Errorf("%s: warm response was not a cache hit", c.path))
+		}
+		if !bytes.Equal(warm, c.cold) {
+			fatal(fmt.Errorf("%s: warm response differs from cold", c.path))
+		}
+	}
+
+	step("async job lifecycle")
+	job := submitAsync(map[string]any{"bench": "mux21", "engine": "ortho", "async": true})
+	waitJob(job, 30*time.Second)
+
+	step("concurrent burst (8 clients)")
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < 4; k++ {
+				code, err := postCode("/v1/simulate", map[string]any{"gate": gates.Gates[(i+k)%len(gates.Gates)]})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if code != http.StatusOK && code != http.StatusTooManyRequests {
+					errs <- fmt.Errorf("burst: unexpected status %d", code)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		fatal(err)
+	}
+
+	step("GET /metrics")
+	metrics := rawGet("/metrics")
+	for _, want := range []string{"cache_mem_stats_hits", "queue_submitted"} {
+		if !strings.Contains(metrics, want) {
+			fatal(fmt.Errorf("metrics missing %q", want))
+		}
+	}
+
+	step("SIGTERM: graceful drain and exit")
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- daemon.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			fatal(fmt.Errorf("daemon exit: %w", err))
+		}
+	case <-time.After(30 * time.Second):
+		fatal(fmt.Errorf("daemon did not exit within 30s of SIGTERM"))
+	}
+	if _, err := os.Stat(filepath.Join(tmp, "report.json")); err != nil {
+		fatal(fmt.Errorf("shutdown report not written: %w", err))
+	}
+
+	fmt.Println("serve-smoke: PASS")
+}
+
+// freeAddr grabs an ephemeral localhost port for the daemon.
+func freeAddr() string {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func waitHealthy(timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	fatal(fmt.Errorf("daemon never became healthy"))
+}
+
+func mustGet(path string, v any) {
+	resp, err := http.Get(base + path)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("GET %s: status %d", path, resp.StatusCode))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		fatal(fmt.Errorf("GET %s: %w", path, err))
+	}
+}
+
+func rawGet(path string) string {
+	resp, err := http.Get(base + path)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return string(b)
+}
+
+// mustPost returns (body, cache hit) and fails on any non-200 status.
+func mustPost(path string, payload any) ([]byte, bool) {
+	b, _ := json.Marshal(payload)
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("POST %s: status %d: %s", path, resp.StatusCode, bytes.TrimSpace(body)))
+	}
+	return body, resp.Header.Get("X-Cache") == "hit"
+}
+
+func postCode(path string, payload any) (int, error) {
+	b, _ := json.Marshal(payload)
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+func submitAsync(payload any) string {
+	b, _ := json.Marshal(payload)
+	resp, err := http.Post(base+"/v1/flow", "application/json", bytes.NewReader(b))
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		fatal(fmt.Errorf("async flow: status %d", resp.StatusCode))
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		fatal(err)
+	}
+	if st.ID == "" {
+		fatal(fmt.Errorf("async flow: no job id in response"))
+	}
+	return st.ID
+}
+
+func waitJob(id string, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		var out struct {
+			Job struct {
+				State string `json:"state"`
+				Error string `json:"error"`
+			} `json:"job"`
+			Result json.RawMessage `json:"result"`
+		}
+		mustGet("/v1/jobs/"+id, &out)
+		switch out.Job.State {
+		case "done":
+			if len(out.Result) == 0 {
+				fatal(fmt.Errorf("job %s done with empty result", id))
+			}
+			return
+		case "failed", "canceled":
+			fatal(fmt.Errorf("job %s %s: %s", id, out.Job.State, out.Job.Error))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	fatal(fmt.Errorf("job %s did not finish within %s", id, timeout))
+}
+
+func step(msg string) { fmt.Println("serve-smoke:", msg) }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "serve-smoke: FAIL:", err)
+	os.Exit(1)
+}
