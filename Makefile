@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race bench bench-sim bench-cache table1 serve serve-smoke clean
+.PHONY: all build test check race bench bench-sim bench-cache bench-service table1 serve serve-smoke clean
 
 all: build
 
@@ -42,6 +42,12 @@ bench:
 # between cold and warm responses. Writes BENCH_cache.json.
 bench-cache:
 	$(GO) run ./cmd/benchcache
+
+# bench-service boots the real bestagond binary and measures end-to-end
+# service latency (throughput, p50/p90/p99, cache hit rate) under a mixed
+# cold/warm workload from concurrent clients. Writes BENCH_service.json.
+bench-service:
+	$(GO) run ./cmd/benchserve
 
 table1:
 	$(GO) run ./cmd/table1

@@ -1,0 +1,340 @@
+// Command benchserve measures bestagond service latency end to end: it
+// builds and boots the real daemon binary (or targets a running one via
+// -addr), drives a mixed cold/warm workload of simulation and gate
+// validation requests from concurrent clients, and writes
+// BENCH_service.json with throughput, latency percentiles (p50/p90/p99),
+// client-observed cache hit rate, and the server-side hit rate scraped
+// from /metrics. It exits nonzero when any request fails, so CI catches
+// service regressions, not just slowdowns.
+//
+//	go run ./cmd/benchserve
+//	make bench-service
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+type latencyStats struct {
+	Requests int     `json:"requests"`
+	Errors   int     `json:"errors"`
+	MeanMS   float64 `json:"mean_ms"`
+	P50MS    float64 `json:"p50_ms"`
+	P90MS    float64 `json:"p90_ms"`
+	P99MS    float64 `json:"p99_ms"`
+	MaxMS    float64 `json:"max_ms"`
+}
+
+type benchReport struct {
+	Clients           int          `json:"clients"`
+	WallSeconds       float64      `json:"wall_seconds"`
+	ThroughputRPS     float64      `json:"throughput_rps"`
+	Cold              latencyStats `json:"cold"`
+	Warm              latencyStats `json:"warm"`
+	CacheHits         int          `json:"cache_hits"`
+	CacheMisses       int          `json:"cache_misses"`
+	ClientHitRate     float64      `json:"client_hit_rate"`
+	ServerHitRate     float64      `json:"server_hit_rate"`
+	WarmColdSpeedup   float64      `json:"warm_cold_speedup"`
+	MetricsScrapeOK   bool         `json:"metrics_scrape_ok"`
+	MetricsScrapeByte int          `json:"metrics_scrape_bytes"`
+}
+
+var base string
+
+func main() {
+	var (
+		out     = flag.String("o", "BENCH_service.json", "output report file")
+		addr    = flag.String("addr", "", "benchmark a running daemon at this address instead of spawning one")
+		clients = flag.Int("clients", 8, "concurrent client goroutines for the warm phase")
+		rounds  = flag.Int("rounds", 5, "warm-phase passes over the gate set per client")
+		workers = flag.Int("workers", 4, "worker pool size for the spawned daemon")
+	)
+	flag.Parse()
+
+	if *addr != "" {
+		base = "http://" + *addr
+	} else {
+		stop := spawnDaemon(*workers)
+		defer stop()
+	}
+	waitHealthy(30 * time.Second)
+
+	gates := listGates()
+	if len(gates) == 0 {
+		fatal(fmt.Errorf("empty gate library"))
+	}
+
+	var rep benchReport
+	rep.Clients = *clients
+
+	// Cold phase: one sequential pass over every gate on both endpoints
+	// populates the cache and measures uncached solve latency.
+	var coldMS []float64
+	for _, path := range []string{"/v1/simulate", "/v1/gates/validate"} {
+		for _, g := range gates {
+			ms, _, err := timedPost(path, map[string]any{"gate": g})
+			if err != nil {
+				fatal(fmt.Errorf("cold %s %s: %w", path, g, err))
+			}
+			coldMS = append(coldMS, ms)
+		}
+	}
+	rep.Cold = summarize(coldMS, 0)
+
+	// Warm phase: concurrent clients hammer the now-populated cache with a
+	// simulate/validate mix; most responses should be cache hits.
+	start := time.Now()
+	var mu sync.Mutex
+	var warmMS []float64
+	var hits, misses, errs int
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < *rounds; r++ {
+				for i, g := range gates {
+					path := "/v1/simulate"
+					if (c+r+i)%3 == 0 {
+						path = "/v1/gates/validate"
+					}
+					ms, hit, err := timedPost(path, map[string]any{"gate": g})
+					mu.Lock()
+					if err != nil {
+						errs++
+					} else {
+						warmMS = append(warmMS, ms)
+						if hit {
+							hits++
+						} else {
+							misses++
+						}
+					}
+					mu.Unlock()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	rep.WallSeconds = time.Since(start).Seconds()
+	rep.Warm = summarize(warmMS, errs)
+	rep.CacheHits = hits
+	rep.CacheMisses = misses
+	if total := hits + misses; total > 0 {
+		rep.ClientHitRate = float64(hits) / float64(total)
+		rep.ThroughputRPS = float64(total) / rep.WallSeconds
+	}
+	if rep.Warm.MeanMS > 0 {
+		rep.WarmColdSpeedup = rep.Cold.MeanMS / rep.Warm.MeanMS
+	}
+
+	// Validate the Prometheus endpoint while we are here: the scrape must
+	// be well-formed and carry the server-side cache hit rate.
+	metrics, err := rawGet("/metrics")
+	if err != nil {
+		fatal(fmt.Errorf("scrape /metrics: %w", err))
+	}
+	rep.MetricsScrapeByte = len(metrics)
+	rep.MetricsScrapeOK = strings.Contains(metrics, "# TYPE http_request_duration_seconds histogram") &&
+		strings.Contains(metrics, `le="+Inf"`)
+	if v, ok := scrapeValue(metrics, "cache_mem_hit_rate"); ok {
+		rep.ServerHitRate = v
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchserve: cold %d reqs: p50 %.2fms p99 %.2fms\n",
+		rep.Cold.Requests, rep.Cold.P50MS, rep.Cold.P99MS)
+	fmt.Printf("benchserve: warm %d reqs x %d clients: %.0f req/s, p50 %.2fms p90 %.2fms p99 %.2fms\n",
+		rep.Warm.Requests, rep.Clients, rep.ThroughputRPS, rep.Warm.P50MS, rep.Warm.P90MS, rep.Warm.P99MS)
+	fmt.Printf("benchserve: cache hit rate %.0f%% (server %.0f%%), wrote %s\n",
+		100*rep.ClientHitRate, 100*rep.ServerHitRate, *out)
+	if errs > 0 || !rep.MetricsScrapeOK {
+		fmt.Fprintf(os.Stderr, "benchserve: FAIL: %d request errors, metrics ok=%v\n", errs, rep.MetricsScrapeOK)
+		os.Exit(1)
+	}
+}
+
+// spawnDaemon builds and boots bestagond on an ephemeral port, returning
+// a function that terminates it.
+func spawnDaemon(workers int) func() {
+	tmp, err := os.MkdirTemp("", "benchserve-*")
+	if err != nil {
+		fatal(err)
+	}
+	bin := filepath.Join(tmp, "bestagond")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/bestagond")
+	build.Stdout, build.Stderr = os.Stderr, os.Stderr
+	if err := build.Run(); err != nil {
+		os.RemoveAll(tmp)
+		fatal(fmt.Errorf("build: %w", err))
+	}
+	addr := freeAddr()
+	base = "http://" + addr
+	daemon := exec.Command(bin,
+		"-addr", addr,
+		"-workers", strconv.Itoa(workers),
+		"-log-level", "warn",
+	)
+	daemon.Stdout, daemon.Stderr = os.Stderr, os.Stderr
+	if err := daemon.Start(); err != nil {
+		os.RemoveAll(tmp)
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchserve: daemon on %s (%d workers)\n", addr, workers)
+	return func() {
+		daemon.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() { daemon.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			daemon.Process.Kill()
+		}
+		os.RemoveAll(tmp)
+	}
+}
+
+func summarize(ms []float64, errs int) latencyStats {
+	st := latencyStats{Requests: len(ms), Errors: errs}
+	if len(ms) == 0 {
+		return st
+	}
+	sorted := append([]float64(nil), ms...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	st.MeanMS = sum / float64(len(sorted))
+	st.P50MS = percentile(sorted, 0.50)
+	st.P90MS = percentile(sorted, 0.90)
+	st.P99MS = percentile(sorted, 0.99)
+	st.MaxMS = sorted[len(sorted)-1]
+	return st
+}
+
+// percentile is the nearest-rank percentile of an ascending-sorted slice.
+func percentile(sorted []float64, q float64) float64 {
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// scrapeValue extracts a single unlabeled gauge/counter sample value.
+func scrapeValue(exposition, family string) (float64, bool) {
+	for _, line := range strings.Split(exposition, "\n") {
+		if strings.HasPrefix(line, family+" ") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(line[len(family)+1:]), 64)
+			return v, err == nil
+		}
+	}
+	return 0, false
+}
+
+func freeAddr() string {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func waitHealthy(timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	fatal(fmt.Errorf("daemon never became healthy at %s", base))
+}
+
+func listGates() []string {
+	resp, err := http.Get(base + "/v1/gates")
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Gates []string `json:"gates"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		fatal(err)
+	}
+	return out.Gates
+}
+
+// timedPost sends a JSON request and returns (elapsed ms, cache hit).
+func timedPost(path string, payload any) (float64, bool, error) {
+	b, err := json.Marshal(payload)
+	if err != nil {
+		return 0, false, err
+	}
+	start := time.Now()
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return 0, false, err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	elapsed := float64(time.Since(start)) / float64(time.Millisecond)
+	if resp.StatusCode != http.StatusOK {
+		return elapsed, false, fmt.Errorf("POST %s: status %d: %s", path, resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return elapsed, resp.Header.Get("X-Cache") == "hit", nil
+}
+
+func rawGet(path string) (string, error) {
+	resp, err := http.Get(base + path)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+	}
+	return string(b), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchserve:", err)
+	os.Exit(1)
+}

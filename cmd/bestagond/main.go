@@ -10,6 +10,8 @@
 //	bestagond -addr :9000 -workers 8
 //	bestagond -cache-size 256 -cache-dir /var/cache/bestagond
 //	bestagond -solver quickexact -job-timeout 5m
+//	bestagond -log-level debug                # structured request logs
+//	bestagond -pprof-addr localhost:6060      # live profiling endpoint
 //	bestagond -report server-report.json      # written on shutdown
 //
 // Endpoints:
@@ -19,9 +21,10 @@
 //	POST   /v1/gates/validate  validate a library tile against its truth table
 //	GET    /v1/gates           list library variant keys
 //	GET    /v1/jobs/{id}       job status (and result once done)
+//	GET    /v1/jobs/{id}/trace per-job stage timeline (spans + attributes)
 //	DELETE /v1/jobs/{id}       cancel a job
-//	GET    /healthz            liveness
-//	GET    /metrics            plain-text metrics (cache, queue, solvers)
+//	GET    /healthz            liveness + latency/error snapshot
+//	GET    /metrics            Prometheus text exposition
 //
 // On SIGINT/SIGTERM the listener stops accepting requests and in-flight
 // jobs are drained; jobs still running when the grace period expires are
@@ -35,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
 	"os"
 	"os/signal"
 	"strings"
@@ -42,6 +46,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/obslog"
 	"repro/internal/service"
 	"repro/internal/sim"
 
@@ -59,43 +64,64 @@ func main() {
 		cacheDir   = flag.String("cache-dir", "", "directory for the persistent flow-artifact cache (empty = memory only)")
 		solver     = flag.String("solver", "", "default ground-state solver: "+strings.Join(sim.SolverNames(), ", ")+" (default auto)")
 		drainGrace = flag.Duration("drain-grace", 30*time.Second, "shutdown grace period before in-flight jobs are canceled")
-		trace      = flag.Bool("trace", false, "log request/job activity to stderr")
+		logLevel   = flag.String("log-level", "info", "structured log threshold: debug, info, warn, error")
+		trace      = flag.Bool("trace", false, "alias for -log-level debug")
+		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
+		maxBody    = flag.Int64("max-body", 1, "request body bound in MiB (oversized bodies get 413)")
 		report     = flag.String("report", "", "write a JSON metrics report to FILE on shutdown ('-' for stdout)")
 	)
 	flag.Parse()
 
+	level, err := obslog.ParseLevel(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	if *trace {
+		level = obslog.LevelDebug
+	}
+	logger := obslog.New(os.Stderr, level).With(obslog.F("service", "bestagond"))
+
 	tr := obs.New()
 	srv, err := service.New(service.Config{
-		Workers:    *workers,
-		QueueDepth: *queueDepth,
-		JobTimeout: *jobTimeout,
-		CacheBytes: *cacheSize << 20,
-		CacheDir:   *cacheDir,
-		Solver:     *solver,
-		Tracer:     tr,
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		JobTimeout:   *jobTimeout,
+		CacheBytes:   *cacheSize << 20,
+		CacheDir:     *cacheDir,
+		Solver:       *solver,
+		Tracer:       tr,
+		Logger:       logger,
+		MaxBodyBytes: *maxBody << 20,
 	})
 	if err != nil {
 		fatal(err)
 	}
 
-	handler := srv.Handler()
-	if *trace {
-		handler = logRequests(handler)
-	}
-	hs := &http.Server{Addr: *addr, Handler: handler}
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	// The profiler listens on its own (ideally loopback-only) address so
+	// the pprof handlers never ride on the public API listener.
+	if *pprofAddr != "" {
+		go func() {
+			logger.Info("pprof_listening", obslog.F("addr", *pprofAddr))
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				logger.Error("pprof_server_failed", obslog.Err(err))
+			}
+		}()
+	}
+
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "bestagond: listening on %s (%d workers)\n", *addr, *workers)
+		logger.Info("listening", obslog.F("addr", *addr), obslog.F("workers", *workers))
 		errCh <- hs.ListenAndServe()
 	}()
 
 	select {
 	case <-ctx.Done():
-		fmt.Fprintln(os.Stderr, "bestagond: shutdown signal received; draining")
+		logger.Info("shutdown_signal", obslog.F("grace", drainGrace.String()))
 	case err := <-errCh:
 		fatal(err)
 	}
@@ -105,12 +131,12 @@ func main() {
 	grace, cancel := context.WithTimeout(context.Background(), *drainGrace)
 	defer cancel()
 	if err := hs.Shutdown(grace); err != nil {
-		fmt.Fprintf(os.Stderr, "bestagond: http shutdown: %v\n", err)
+		logger.Warn("http_shutdown", obslog.Err(err))
 	}
 	if err := srv.Drain(grace); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintf(os.Stderr, "bestagond: drain: %v\n", err)
+		logger.Warn("drain_failed", obslog.Err(err))
 	} else if errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintln(os.Stderr, "bestagond: drain grace expired; in-flight jobs were canceled")
+		logger.Warn("drain_grace_expired")
 	}
 
 	if *report != "" {
@@ -123,21 +149,14 @@ func main() {
 		} else if err := os.WriteFile(*report, append(data, '\n'), 0o644); err != nil {
 			fatal(err)
 		} else {
-			fmt.Fprintf(os.Stderr, "bestagond: wrote %s\n", *report)
+			logger.Info("report_written", obslog.F("file", *report))
 		}
 	}
 	st := srv.CacheStats()
-	fmt.Fprintf(os.Stderr, "bestagond: cache at exit: %d entries, %d bytes, %.0f%% hit rate\n",
-		st.Entries, st.Bytes, 100*st.HitRate())
-}
-
-// logRequests is the -trace middleware: one stderr line per request.
-func logRequests(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		next.ServeHTTP(w, r)
-		fmt.Fprintf(os.Stderr, "bestagond: %s %s (%s)\n", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
-	})
+	logger.Info("exit",
+		obslog.F("cache_entries", st.Entries),
+		obslog.F("cache_bytes", st.Bytes),
+		obslog.F("cache_hit_rate", st.HitRate()))
 }
 
 func fatal(err error) {

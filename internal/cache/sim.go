@@ -4,7 +4,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -18,6 +20,12 @@ import (
 type CachedSolver struct {
 	Inner sim.GroundStateSolver
 	Cache *LRU
+	// Tracer, when set, records cache-miss solve durations into the
+	// sim_solve_seconds{solver="..."} histogram — the service points this
+	// at its process-lifetime tracer so /metrics exposes the latency
+	// distribution of actual ground-state computation, separated from the
+	// (near-free) cache-hit path.
+	Tracer *obs.Tracer
 }
 
 var _ sim.GroundStateSolver = (*CachedSolver)(nil)
@@ -46,10 +54,13 @@ func (c *CachedSolver) SolveTrack(e *sim.Engine, opts sim.SolveOptions) (sim.Sol
 		// A decode failure means a corrupted or incompatible entry; fall
 		// through and recompute (the Put below overwrites it).
 	}
+	start := time.Now()
 	sol, err := c.Inner.Solve(e, opts)
 	if err != nil {
 		return sol, false, err
 	}
+	c.Tracer.Histogram(obs.Labeled("sim/solve_seconds", "solver", sol.Solver), obs.DefBuckets...).
+		Observe(time.Since(start).Seconds())
 	c.Cache.Put(key, encodeSolution(sol, order))
 	return sol, false, nil
 }

@@ -133,6 +133,12 @@ func RunContext(ctx context.Context, spec *network.XAG, opts Options) (*Result, 
 	tr := opts.Tracer
 	root := tr.Start("flow")
 	defer root.End()
+	// Attribute the run to the HTTP request that caused it (the service
+	// layer tags the context in its middleware), so a slow span in a
+	// job trace can be matched against the request logs.
+	if id := obs.RequestIDFromContext(ctx); id != "" {
+		root.SetAttr("request_id", id)
+	}
 
 	if err := ctx.Err(); err != nil {
 		return res, err

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"sync"
@@ -158,8 +159,13 @@ func (t *Tracer) Gauge(name string) *Gauge {
 }
 
 // Histogram returns the named histogram, creating it with the given bucket
-// bounds on first use (bounds are ignored when the histogram already
-// exists). Nil tracers return a nil (no-op) histogram.
+// bounds on first use. The bounds contract is first-caller-wins: the first
+// caller for a name fixes the buckets, and later callers may pass no
+// bounds at all to retrieve the existing histogram. Passing different
+// bounds for an existing name panics — silently ignoring the mismatch
+// (the old behavior) corrupts every aggregate computed from the buckets,
+// because the caller believes observations land in buckets that do not
+// exist. Nil tracers return a nil (no-op) histogram.
 func (t *Tracer) Histogram(name string, bounds ...float64) *Histogram {
 	if t == nil {
 		return nil
@@ -170,6 +176,94 @@ func (t *Tracer) Histogram(name string, bounds ...float64) *Histogram {
 	if !ok {
 		h = NewHistogram(bounds...)
 		t.histograms[name] = h
+		return h
+	}
+	if len(bounds) > 0 && !h.sameBounds(bounds) {
+		// Copy before formatting so the variadic slice does not escape on
+		// the non-panicking path (the nil-tracer fast path must stay
+		// allocation-free).
+		given := append([]float64(nil), bounds...)
+		panic(fmt.Sprintf("obs: histogram %q redeclared with bounds %v (first caller fixed %v)",
+			name, given, h.bounds))
 	}
 	return h
+}
+
+// sameBounds reports whether the given raw bounds normalize (sort +
+// dedup, as NewHistogram does) to this histogram's bounds. The bounds
+// slice is immutable after construction, so no lock is needed.
+func (h *Histogram) sameBounds(bounds []float64) bool {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	n := 0
+	for i, b := range bs {
+		if i == 0 || b != bs[n-1] {
+			bs[n] = b
+			n++
+		}
+	}
+	bs = bs[:n]
+	if len(bs) != len(h.bounds) {
+		return false
+	}
+	for i, b := range bs {
+		if b != h.bounds[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed
+// distribution from the bucket counts, interpolating linearly within the
+// containing bucket (the Prometheus histogram_quantile estimate). Values
+// in the overflow bucket clamp to the highest bound. Returns 0 when the
+// histogram is empty or nil.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	bounds, counts := h.Buckets()
+	return QuantileFromBuckets(bounds, counts, q)
+}
+
+// QuantileFromBuckets is Histogram.Quantile over raw bucket data (bounds
+// plus per-bucket counts with one trailing overflow bucket), usable on
+// merged or reported histograms.
+func QuantileFromBuckets(bounds []float64, counts []int64, q float64) float64 {
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 || len(bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range counts {
+		if i >= len(bounds) {
+			break // overflow bucket: clamp below
+		}
+		prev := cum
+		cum += c
+		if float64(cum) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = bounds[i-1]
+			}
+			upper := bounds[i]
+			if c == 0 {
+				return upper
+			}
+			frac := (rank - float64(prev)) / float64(c)
+			return lower + (upper-lower)*frac
+		}
+	}
+	return bounds[len(bounds)-1]
 }

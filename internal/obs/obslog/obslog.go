@@ -1,0 +1,167 @@
+// Package obslog is a minimal structured JSON logger for the bestagond
+// service: one JSON object per line with a timestamp, level, message, and
+// arbitrary key/value fields, suitable for machine ingestion (jq, Loki,
+// CloudWatch). It follows the rest of internal/obs in being stdlib-only
+// and nil-safe: every method on a nil *Logger is a free no-op, so request
+// logging can be disabled by simply not configuring a logger.
+package obslog
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders log severities.
+type Level int8
+
+// Severity levels, least to most severe.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the lowercase level name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return fmt.Sprintf("level(%d)", int8(l))
+	}
+}
+
+// ParseLevel maps a level name ("debug", "info", "warn", "error",
+// case-insensitive) to its Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	default:
+		return LevelInfo, fmt.Errorf("obslog: unknown level %q (want debug, info, warn, or error)", s)
+	}
+}
+
+// Field is one key/value pair on a log line.
+type Field struct {
+	Key   string
+	Value any
+}
+
+// F builds a Field.
+func F(key string, value any) Field { return Field{Key: key, Value: value} }
+
+// Err builds the conventional "error" field (a nil error logs as null).
+func Err(err error) Field {
+	if err == nil {
+		return Field{Key: "error", Value: nil}
+	}
+	return Field{Key: "error", Value: err.Error()}
+}
+
+// Logger writes JSON log lines at or above its level. Construct with New;
+// a nil *Logger drops everything. Loggers derived with With share the
+// parent's writer and serialize writes through a common mutex, so one
+// logger tree is safe for concurrent use from any number of goroutines.
+type Logger struct {
+	mu    *sync.Mutex
+	w     io.Writer
+	level Level
+	base  []Field
+	now   func() time.Time
+}
+
+// New builds a logger writing to w, dropping entries below level.
+func New(w io.Writer, level Level) *Logger {
+	return &Logger{mu: &sync.Mutex{}, w: w, level: level, now: time.Now}
+}
+
+// With returns a child logger whose lines always carry the given fields
+// (request IDs, job IDs, component names). The child shares the parent's
+// writer, level, and write lock.
+func (l *Logger) With(fields ...Field) *Logger {
+	if l == nil || len(fields) == 0 {
+		return l
+	}
+	base := make([]Field, 0, len(l.base)+len(fields))
+	base = append(base, l.base...)
+	base = append(base, fields...)
+	return &Logger{mu: l.mu, w: l.w, level: l.level, base: base, now: l.now}
+}
+
+// Enabled reports whether a line at the level would be written.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && level >= l.level
+}
+
+// Log writes one line at the level. Below-threshold lines cost one
+// comparison and no allocation.
+func (l *Logger) Log(level Level, msg string, fields ...Field) {
+	if !l.Enabled(level) {
+		return
+	}
+	var b bytes.Buffer
+	b.WriteString(`{"ts":"`)
+	b.WriteString(l.now().UTC().Format(time.RFC3339Nano))
+	b.WriteString(`","level":"`)
+	b.WriteString(level.String())
+	b.WriteString(`","msg":`)
+	writeJSONValue(&b, msg)
+	for _, f := range l.base {
+		writeField(&b, f)
+	}
+	for _, f := range fields {
+		writeField(&b, f)
+	}
+	b.WriteString("}\n")
+	l.mu.Lock()
+	l.w.Write(b.Bytes())
+	l.mu.Unlock()
+}
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(msg string, fields ...Field) { l.Log(LevelDebug, msg, fields...) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, fields ...Field) { l.Log(LevelInfo, msg, fields...) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, fields ...Field) { l.Log(LevelWarn, msg, fields...) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, fields ...Field) { l.Log(LevelError, msg, fields...) }
+
+func writeField(b *bytes.Buffer, f Field) {
+	b.WriteByte(',')
+	writeJSONValue(b, f.Key)
+	b.WriteByte(':')
+	writeJSONValue(b, f.Value)
+}
+
+// writeJSONValue marshals v, degrading unmarshalable values to their
+// fmt.Sprintf rendering instead of dropping the whole line.
+func writeJSONValue(b *bytes.Buffer, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		data, _ = json.Marshal(fmt.Sprintf("%v", v))
+	}
+	b.Write(data)
+}

@@ -1,0 +1,131 @@
+package obslog
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fixedClock() time.Time {
+	return time.Date(2024, 3, 1, 12, 0, 0, 123456789, time.UTC)
+}
+
+func TestJSONLine(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, LevelDebug)
+	l.now = fixedClock
+	l.Info("request", F("method", "POST"), F("status", 200), F("duration_ms", 1.5))
+	want := `{"ts":"2024-03-01T12:00:00.123456789Z","level":"info","msg":"request","method":"POST","status":200,"duration_ms":1.5}` + "\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("line = %q, want %q", got, want)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("line is not valid JSON: %v", err)
+	}
+}
+
+func TestLevelFiltering(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, LevelWarn)
+	l.Debug("nope")
+	l.Info("nope")
+	l.Warn("yes")
+	l.Error("also")
+	lines := strings.Count(buf.String(), "\n")
+	if lines != 2 {
+		t.Fatalf("expected 2 lines, got %d:\n%s", lines, buf.String())
+	}
+	if l.Enabled(LevelInfo) || !l.Enabled(LevelError) {
+		t.Fatal("Enabled disagrees with filtering")
+	}
+}
+
+func TestWithFieldsAndErr(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, LevelInfo).With(F("request_id", "abc123"))
+	l.Error("job failed", Err(errors.New("boom")), F("job_id", "j00000001"))
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range map[string]string{
+		"request_id": "abc123", "error": "boom", "job_id": "j00000001", "level": "error",
+	} {
+		if m[k] != want {
+			t.Fatalf("field %s = %v, want %v", k, m[k], want)
+		}
+	}
+}
+
+func TestNilLoggerIsSafe(t *testing.T) {
+	var l *Logger
+	l.Info("ignored", F("k", "v"))
+	l.With(F("a", 1)).Error("still ignored")
+	if l.Enabled(LevelError) {
+		t.Fatal("nil logger must report disabled")
+	}
+}
+
+func TestUnmarshalableValueDegrades(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, LevelInfo)
+	l.Info("chan", F("v", make(chan int)))
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("line must stay valid JSON: %v\n%s", err, buf.String())
+	}
+	if _, ok := m["v"].(string); !ok {
+		t.Fatalf("unmarshalable value should degrade to a string, got %T", m["v"])
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{
+		"debug": LevelDebug, "Info": LevelInfo, "WARN": LevelWarn,
+		"warning": LevelWarn, " error ": LevelError,
+	} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("expected error for unknown level")
+	}
+}
+
+// TestConcurrentLogging exercises a shared logger tree from many
+// goroutines; under -race it is the logger's data-race test, and the
+// line count verifies no interleaved/torn writes.
+func TestConcurrentLogging(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, LevelInfo)
+	const goroutines, perG = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			child := l.With(F("worker", g))
+			for i := 0; i < perG; i++ {
+				child.Info("tick", F("i", i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != goroutines*perG {
+		t.Fatalf("expected %d lines, got %d", goroutines*perG, len(lines))
+	}
+	for _, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("torn line %q: %v", line, err)
+		}
+	}
+}

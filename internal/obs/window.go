@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// RollingWindow keeps the last N latency observations with an error flag
+// each, for rolling-window health snapshots (cumulative histograms answer
+// "since process start"; the window answers "right now"). A nil
+// *RollingWindow is a valid no-op; non-nil windows are safe for
+// concurrent use.
+type RollingWindow struct {
+	mu   sync.Mutex
+	buf  []windowSample
+	next int
+	size int
+}
+
+type windowSample struct {
+	seconds float64
+	err     bool
+}
+
+// NewRollingWindow builds a window over the last n observations (n <= 0
+// defaults to 256).
+func NewRollingWindow(n int) *RollingWindow {
+	if n <= 0 {
+		n = 256
+	}
+	return &RollingWindow{buf: make([]windowSample, n)}
+}
+
+// Observe records one request outcome, evicting the oldest once full.
+func (w *RollingWindow) Observe(seconds float64, isError bool) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	w.buf[w.next] = windowSample{seconds: seconds, err: isError}
+	w.next = (w.next + 1) % len(w.buf)
+	if w.size < len(w.buf) {
+		w.size++
+	}
+	w.mu.Unlock()
+}
+
+// WindowSnapshot summarizes the current window contents.
+type WindowSnapshot struct {
+	// Size is the number of observations currently held.
+	Size int `json:"size"`
+	// Errors counts observations flagged as errors.
+	Errors int `json:"errors"`
+	// ErrorRate is Errors/Size (0 when empty).
+	ErrorRate float64 `json:"error_rate"`
+	// P50/P90/P99 are latency percentiles in seconds (0 when empty).
+	P50 float64 `json:"p50_seconds"`
+	P90 float64 `json:"p90_seconds"`
+	P99 float64 `json:"p99_seconds"`
+}
+
+// Snapshot computes the rolling percentiles and error rate.
+func (w *RollingWindow) Snapshot() WindowSnapshot {
+	if w == nil {
+		return WindowSnapshot{}
+	}
+	w.mu.Lock()
+	lat := make([]float64, 0, w.size)
+	errs := 0
+	for i := 0; i < w.size; i++ {
+		s := w.buf[i]
+		lat = append(lat, s.seconds)
+		if s.err {
+			errs++
+		}
+	}
+	w.mu.Unlock()
+	snap := WindowSnapshot{Size: len(lat), Errors: errs}
+	if len(lat) == 0 {
+		return snap
+	}
+	snap.ErrorRate = float64(errs) / float64(len(lat))
+	sort.Float64s(lat)
+	snap.P50 = percentile(lat, 0.50)
+	snap.P90 = percentile(lat, 0.90)
+	snap.P99 = percentile(lat, 0.99)
+	return snap
+}
+
+// percentile is the nearest-rank percentile of a sorted slice.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

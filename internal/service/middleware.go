@@ -1,0 +1,136 @@
+package service
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/obslog"
+)
+
+// requestIDHeader carries the request ID on both requests (client-chosen,
+// validated) and responses (always set).
+const requestIDHeader = "X-Request-Id"
+
+// statusWriter records the response status and body size for metrics and
+// request logs.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// routeLabel normalizes a request path onto the fixed route set so metric
+// label cardinality stays bounded no matter what clients send.
+func routeLabel(path string) string {
+	switch path {
+	case "/v1/flow", "/v1/simulate", "/v1/gates/validate", "/v1/gates", "/healthz", "/metrics":
+		return path
+	}
+	if strings.HasPrefix(path, "/v1/jobs/") {
+		if strings.HasSuffix(path, "/trace") {
+			return "/v1/jobs/{id}/trace"
+		}
+		return "/v1/jobs/{id}"
+	}
+	return "other"
+}
+
+// newRequestID returns a fresh 16-hex-char request ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// clientRequestID returns a caller-supplied request ID when it is safe to
+// propagate (bounded length, conservative charset), or "".
+func clientRequestID(r *http.Request) string {
+	id := r.Header.Get(requestIDHeader)
+	if id == "" || len(id) > 64 {
+		return ""
+	}
+	for _, c := range id {
+		ok := c == '-' || c == '_' || c == '.' ||
+			(c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !ok {
+			return ""
+		}
+	}
+	return id
+}
+
+// instrument is the observability middleware: it assigns (or validates
+// and propagates) the request ID, tracks in-flight saturation, measures
+// per-route latency into Prometheus-exposed histograms, feeds the
+// rolling health window, and emits one structured JSON log line per
+// request.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rid := clientRequestID(r)
+		if rid == "" {
+			rid = newRequestID()
+		}
+		w.Header().Set(requestIDHeader, rid)
+		r = r.WithContext(obs.ContextWithRequestID(r.Context(), rid))
+
+		s.tr.Gauge("http/in_flight_requests").Set(float64(s.inFlight.Add(1)))
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		s.tr.Gauge("http/in_flight_requests").Set(float64(s.inFlight.Add(-1)))
+
+		dur := time.Since(start)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		route := routeLabel(r.URL.Path)
+		s.tr.Counter(obs.Labeled("http/requests_total",
+			"method", r.Method, "path", route, "code", strconv.Itoa(status))).Inc()
+		s.tr.Histogram(obs.Labeled("http/request_duration_seconds", "path", route),
+			obs.DefBuckets...).Observe(dur.Seconds())
+		s.window.Observe(dur.Seconds(), status >= 500)
+
+		if s.log.Enabled(obslog.LevelInfo) {
+			fields := []obslog.Field{
+				obslog.F("request_id", rid),
+				obslog.F("method", r.Method),
+				obslog.F("path", r.URL.Path),
+				obslog.F("route", route),
+				obslog.F("status", status),
+				obslog.F("bytes", sw.bytes),
+				obslog.F("duration_ms", float64(dur.Microseconds())/1000),
+			}
+			if cache := sw.Header().Get("X-Cache"); cache != "" {
+				fields = append(fields, obslog.F("cache", cache))
+			}
+			if job := sw.Header().Get("X-Job-Id"); job != "" {
+				fields = append(fields, obslog.F("job_id", job))
+			}
+			s.log.Info("http_request", fields...)
+		}
+	})
+}

@@ -1,0 +1,82 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestRouteLabel(t *testing.T) {
+	cases := []struct{ path, want string }{
+		{"/v1/flow", "/v1/flow"},
+		{"/v1/simulate", "/v1/simulate"},
+		{"/v1/gates", "/v1/gates"},
+		{"/v1/gates/validate", "/v1/gates/validate"},
+		{"/healthz", "/healthz"},
+		{"/metrics", "/metrics"},
+		{"/v1/jobs/j00000001", "/v1/jobs/{id}"},
+		{"/v1/jobs/j00000001/trace", "/v1/jobs/{id}/trace"},
+		{"/", "other"},
+		{"/v1/unknown", "other"},
+		{"/v1/flow/extra", "other"},
+	}
+	for _, c := range cases {
+		if got := routeLabel(c.path); got != c.want {
+			t.Errorf("routeLabel(%q) = %q, want %q", c.path, got, c.want)
+		}
+	}
+}
+
+func TestClientRequestID(t *testing.T) {
+	mk := func(id string) *http.Request {
+		r := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+		if id != "" {
+			r.Header.Set(requestIDHeader, id)
+		}
+		return r
+	}
+	for _, ok := range []string{"abc", "a-b_c.9", "ABC123"} {
+		if got := clientRequestID(mk(ok)); got != ok {
+			t.Errorf("clientRequestID(%q) = %q, want accepted", ok, got)
+		}
+	}
+	long := make([]byte, 65)
+	for i := range long {
+		long[i] = 'a'
+	}
+	for _, bad := range []string{"", "has space", "semi;colon", "unié", string(long)} {
+		if got := clientRequestID(mk(bad)); got != "" {
+			t.Errorf("clientRequestID(%q) = %q, want rejected", bad, got)
+		}
+	}
+}
+
+func TestNewRequestIDUnique(t *testing.T) {
+	a, b := newRequestID(), newRequestID()
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("unexpected lengths: %q %q", a, b)
+	}
+	if a == b {
+		t.Fatalf("two IDs collided: %q", a)
+	}
+}
+
+func TestStatusWriter(t *testing.T) {
+	rec := httptest.NewRecorder()
+	sw := &statusWriter{ResponseWriter: rec}
+	if _, err := sw.Write([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if sw.status != http.StatusOK || sw.bytes != 2 {
+		t.Fatalf("implicit 200 not recorded: status=%d bytes=%d", sw.status, sw.bytes)
+	}
+
+	rec = httptest.NewRecorder()
+	sw = &statusWriter{ResponseWriter: rec}
+	sw.WriteHeader(http.StatusTeapot)
+	sw.WriteHeader(http.StatusOK) // second call must not overwrite
+	sw.Write([]byte("tea"))
+	if sw.status != http.StatusTeapot || sw.bytes != 3 {
+		t.Fatalf("explicit status not kept: status=%d bytes=%d", sw.status, sw.bytes)
+	}
+}

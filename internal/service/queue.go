@@ -60,9 +60,26 @@ type Job struct {
 	started  time.Time
 	finished time.Time
 	cancel   context.CancelFunc
+	tracer   *obs.Tracer
 
 	// done is closed exactly once when the job reaches a terminal state.
 	done chan struct{}
+}
+
+// AttachTracer associates the job's per-job tracer (stage spans, solver
+// metrics) so GET /v1/jobs/{id}/trace can render its RunReport.
+func (j *Job) AttachTracer(tr *obs.Tracer) {
+	j.mu.Lock()
+	j.tracer = tr
+	j.mu.Unlock()
+}
+
+// Tracer returns the per-job tracer attached at submission (nil when the
+// job kind records no trace).
+func (j *Job) Tracer() *obs.Tracer {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.tracer
 }
 
 // Done returns a channel closed when the job reaches a terminal state.
@@ -165,8 +182,10 @@ type Queue struct {
 	wg       sync.WaitGroup
 	runningN atomic.Int64
 
+	tr                                               *obs.Tracer
 	submitted, completed, failed, canceled, rejected *obs.Counter
 	depth, running                                   *obs.Gauge
+	waitHist                                         *obs.Histogram
 }
 
 // NewQueue starts a queue with the given worker count, buffer depth, and
@@ -183,6 +202,8 @@ func NewQueue(workers, depth int, timeout time.Duration, tr *obs.Tracer) *Queue 
 		ch:        make(chan *Job, depth),
 		timeout:   timeout,
 		byID:      make(map[string]*Job),
+		tr:        tr,
+		waitHist:  tr.Histogram("queue/wait_seconds", obs.DefBuckets...),
 		submitted: tr.Counter("queue/submitted"),
 		completed: tr.Counter("queue/completed"),
 		failed:    tr.Counter("queue/failed"),
@@ -269,6 +290,17 @@ func (q *Queue) Get(id string) (*Job, bool) {
 // Depth returns the number of queued (not yet running) jobs.
 func (q *Queue) Depth() int { return len(q.ch) }
 
+// Running returns the number of jobs currently executing.
+func (q *Queue) Running() int { return int(q.runningN.Load()) }
+
+// Draining reports whether Drain has begun (new submissions are being
+// rejected with ErrDraining).
+func (q *Queue) Draining() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}
+
 func (q *Queue) worker() {
 	defer q.wg.Done()
 	for j := range q.ch {
@@ -293,12 +325,16 @@ func (q *Queue) run(j *Job) {
 	j.state = JobRunning
 	j.started = time.Now()
 	j.cancel = cancel
+	started, created := j.started, j.created
 	j.mu.Unlock()
+	q.waitHist.Observe(started.Sub(created).Seconds())
 	q.running.Set(float64(q.runningN.Add(1)))
 
 	res, err := j.fn(ctx)
 	cancel()
 	q.running.Set(float64(q.runningN.Add(-1)))
+	q.tr.Histogram(obs.Labeled("job/duration_seconds", "kind", j.Kind), obs.DefBuckets...).
+		Observe(time.Since(started).Seconds())
 
 	j.mu.Lock()
 	j.finished = time.Now()

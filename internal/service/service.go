@@ -3,10 +3,12 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cache"
@@ -16,6 +18,7 @@ import (
 	"repro/internal/logic/bench"
 	"repro/internal/logic/network"
 	"repro/internal/obs"
+	"repro/internal/obs/obslog"
 	"repro/internal/sidb"
 	"repro/internal/sim"
 )
@@ -36,24 +39,36 @@ type Config struct {
 	// Solver is the default ground-state solver name ("" = automatic
 	// dispatch; see sim.SolverNames).
 	Solver string
+	// MaxBodyBytes bounds request bodies (default 1 MiB); oversized
+	// requests are rejected with 413 and a JSON error.
+	MaxBodyBytes int64
 	// Tracer receives server-wide metrics (queue depth, cache hit rates,
-	// request counters). Per-job flow reports use their own tracers, so
-	// the shared tracer only ever sees concurrency-safe metric types.
+	// request counters, latency histograms). Per-job flow spans use their
+	// own tracers whose stage durations are aggregated back onto this one
+	// via an obs.StageObserver, so the shared tracer only ever sees
+	// concurrency-safe metric types.
 	Tracer *obs.Tracer
+	// Logger receives structured JSON request/job logs (nil disables).
+	Logger *obslog.Logger
 }
 
 // Server is the bestagond HTTP service: a JSON API over the design flow,
 // simulation, and gate validation, backed by a bounded job queue and a
 // content-addressed result cache.
 type Server struct {
-	cfg     Config
-	tr      *obs.Tracer
-	queue   *Queue
-	lru     *cache.LRU
-	flow    *cache.FlowCache
-	lib     *gatelib.Library
-	mux     *http.ServeMux
-	started time.Time
+	cfg       Config
+	tr        *obs.Tracer
+	log       *obslog.Logger
+	queue     *Queue
+	lru       *cache.LRU
+	flow      *cache.FlowCache
+	lib       *gatelib.Library
+	mux       *http.ServeMux
+	handler   http.Handler
+	started   time.Time
+	window    *obs.RollingWindow
+	stageSink *obs.StageObserver
+	inFlight  atomic.Int64
 }
 
 // New builds a server (it does not listen; see Handler).
@@ -74,13 +89,19 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("service: %w", err)
 		}
 	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
 	s := &Server{
 		cfg:     cfg,
 		tr:      cfg.Tracer,
+		log:     cfg.Logger,
 		lru:     cache.NewLRU(cfg.CacheBytes),
 		lib:     gatelib.NewLibrary(),
 		started: time.Now(),
+		window:  obs.NewRollingWindow(512),
 	}
+	s.stageSink = &obs.StageObserver{Tracer: s.tr, Family: "flow_stage_seconds"}
 	s.lru.Instrument(s.tr, "cache/mem")
 	s.flow = &cache.FlowCache{Mem: s.lru}
 	if cfg.CacheDir != "" {
@@ -98,14 +119,17 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/gates/validate", s.handleValidate)
 	s.mux.HandleFunc("GET /v1/gates", s.handleGates)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.handler = s.instrument(s.mux)
 	return s, nil
 }
 
-// Handler returns the HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler (routes wrapped in the observability
+// middleware: request IDs, latency histograms, structured logs).
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Queue exposes the job queue (for tests and the daemon's drain path).
 func (s *Server) Queue() *Queue { return s.queue }
@@ -149,6 +173,36 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// decodeJSON decodes a bounded request body into v. It returns false
+// after writing the error response itself: 413 with a JSON error when the
+// body exceeds the configured bound (instead of the opaque read failure
+// an unbounded decode would surface), 400 for malformed JSON.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", mbe.Limit)
+			return false
+		}
+		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
+		return false
+	}
+	return true
+}
+
+// newJobTracer builds the per-job tracer: it records the job's stage
+// spans for GET /v1/jobs/{id}/trace, and its span sink aggregates every
+// stage duration into the server-wide flow_stage_seconds histograms so
+// /metrics exposes per-stage latency distributions (rewrite, P&R, SAT
+// size search, simulation, ...) across all jobs.
+func (s *Server) newJobTracer() *obs.Tracer {
+	jtr := obs.New()
+	jtr.SetSink(s.stageSink)
+	return jtr
 }
 
 // submit enqueues fn, applying queue backpressure to the response.
@@ -264,8 +318,7 @@ func parseEngine(name string) (core.Engine, error) {
 func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 	s.tr.Counter("http/flow").Inc()
 	var req flowRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	spec, err := s.parseSpec(&req)
@@ -288,15 +341,19 @@ func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	rid := obs.RequestIDFromContext(r.Context())
+	jtr := s.newJobTracer()
 	opts := core.Options{
 		Engine:       engine,
 		CellSim:      req.CellSim,
 		GroundSolver: solver,
+		Tracer:       jtr,
 	}
 	opts.Exact.MaxArea = req.MaxArea
 	opts.Exact.ConflictBudget = req.ConflictBudget
 
 	fn := func(ctx context.Context) (any, error) {
+		ctx = obs.ContextWithRequestID(ctx, rid)
 		var art *cache.FlowArtifact
 		source := cache.SourceBypass
 		var err error
@@ -318,6 +375,7 @@ func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	j.AttachTracer(jtr)
 	if req.Async {
 		w.Header().Set("Location", "/v1/jobs/"+j.ID)
 		writeJSON(w, http.StatusAccepted, j.Snapshot())
@@ -404,8 +462,7 @@ func (s *Server) simLayout(req *simulateRequest) (*sidb.Layout, error) {
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	s.tr.Counter("http/simulate").Inc()
 	var req simulateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	layout, err := s.simLayout(&req)
@@ -426,14 +483,25 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	cached := &cache.CachedSolver{Inner: inner, Cache: s.lru}
+	cached := &cache.CachedSolver{Inner: inner, Cache: s.lru, Tracer: s.tr}
 
+	rid := obs.RequestIDFromContext(r.Context())
+	jtr := s.newJobTracer()
 	fn := func(ctx context.Context) (any, error) {
+		ctx = obs.ContextWithRequestID(ctx, rid)
+		sp := jtr.Start("simulate")
+		defer sp.End()
+		if rid != "" {
+			sp.SetAttr("request_id", rid)
+		}
 		eng := sim.NewEngine(layout, params)
-		sol, hit, err := cached.SolveTrack(eng, sim.SolveOptions{Ctx: ctx})
+		sp.SetAttr("dots", eng.NumDots())
+		sol, hit, err := cached.SolveTrack(eng, sim.SolveOptions{Ctx: ctx, Tracer: jtr})
 		if err != nil {
 			return nil, err
 		}
+		sp.SetAttr("solver", sol.Solver)
+		sp.SetAttr("cache_hit", hit)
 		resp := simulateResponse{
 			Solver:   sol.Solver,
 			Exact:    sol.Exact,
@@ -461,6 +529,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	j.AttachTracer(jtr)
 	if req.Async {
 		w.Header().Set("Location", "/v1/jobs/"+j.ID)
 		writeJSON(w, http.StatusAccepted, j.Snapshot())
@@ -493,8 +562,7 @@ type validateResponse struct {
 func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 	s.tr.Counter("http/validate").Inc()
 	var req validateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	d, f, ok := s.lib.Design(req.Gate)
@@ -514,12 +582,21 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	rid := obs.RequestIDFromContext(r.Context())
+	jtr := s.newJobTracer()
 	fn := func(ctx context.Context) (any, error) {
+		sp := jtr.Start("validate")
+		defer sp.End()
+		if rid != "" {
+			sp.SetAttr("request_id", rid)
+		}
+		sp.SetAttr("gate", req.Gate)
 		v, hit, err := cache.CachedValidate(s.lru, d, gatelib.TruthOf(f), params,
 			gatelib.ValidateOptions{Solver: solverName})
 		if err != nil {
 			return nil, err
 		}
+		sp.SetAttr("cache_hit", hit)
 		body, err := json.Marshal(validateResponse{
 			Gate: req.Gate, OK: v.OK, Outputs: v.Outputs,
 			MinGapEV: v.MinGapEV, Method: v.Method,
@@ -537,6 +614,7 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	j.AttachTracer(jtr)
 	s.await(w, r, j)
 }
 
@@ -575,42 +653,132 @@ func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, j.Snapshot())
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+// handleJobTrace serves the per-job stage timeline: the RunReport of the
+// job's tracer (span tree with durations and attributes, including the
+// request_id of the request that submitted it, plus any solver metrics
+// the stages recorded). A running job reports its elapsed stages so far.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.queue.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	jtr := j.Tracer()
+	if jtr == nil {
+		writeErr(w, http.StatusNotFound, "no trace recorded for job %s", j.ID)
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"ok":             true,
-		"uptime_seconds": time.Since(s.started).Seconds(),
-		"workers":        s.cfg.Workers,
-		"queue_depth":    s.queue.Depth(),
+		"job":   j.Snapshot(),
+		"trace": jtr.Report(j.ID),
 	})
 }
 
-// handleMetrics renders every tracer metric plus the cache stats as plain
-// "name value" lines (slashes normalized to underscores).
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	var lines []string
-	add := func(name string, value float64) {
-		lines = append(lines, fmt.Sprintf("%s %g", strings.ReplaceAll(name, "/", "_"), value))
+// handleHealthz reports liveness plus an operational snapshot: queue and
+// worker state, lifetime request latency percentiles derived from the
+// Prometheus histograms, a rolling-window latency/error view of the most
+// recent requests, and the draining state. While draining it answers 503
+// so load balancers stop routing to an instance that is shutting down.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	draining := s.queue.Draining()
+	code := http.StatusOK
+	if draining {
+		code = http.StatusServiceUnavailable
 	}
-	if rep := s.tr.Report("server"); rep != nil {
+
+	// Merge the per-route request-duration histograms (identical bounds)
+	// into lifetime percentiles.
+	var bounds []float64
+	var counts []int64
+	var reqTotal, errs5xx int64
+	if rep := s.tr.Report("healthz"); rep != nil {
 		for name, m := range rep.Metrics {
-			switch m.Type {
-			case "counter", "gauge":
-				add(name, m.Value)
-			case "histogram":
-				add(name+"/count", float64(m.Count))
-				add(name+"/sum", m.Sum)
+			switch {
+			case m.Type == "histogram" && strings.HasPrefix(name, "http/request_duration_seconds{"):
+				if bounds == nil {
+					bounds = m.Bounds
+					counts = append([]int64(nil), m.Buckets...)
+				} else if len(m.Buckets) == len(counts) {
+					for i, c := range m.Buckets {
+						counts[i] += c
+					}
+				}
+			case m.Type == "counter" && strings.HasPrefix(name, "http/requests_total{"):
+				reqTotal += int64(m.Value)
+				if strings.Contains(name, `code="5`) {
+					errs5xx += int64(m.Value)
+				}
 			}
 		}
 	}
+	var obsCount int64
+	for _, c := range counts {
+		obsCount += c
+	}
+	win := s.window.Snapshot()
+	writeJSON(w, code, map[string]any{
+		"ok":             !draining,
+		"draining":       draining,
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"workers":        s.cfg.Workers,
+		"queue_depth":    s.queue.Depth(),
+		"jobs_running":   s.queue.Running(),
+		"requests": map[string]any{
+			"total":      reqTotal,
+			"errors_5xx": errs5xx,
+			"in_flight":  s.inFlight.Load(),
+		},
+		"latency": map[string]any{
+			"count":  obsCount,
+			"p50_ms": 1e3 * obs.QuantileFromBuckets(bounds, counts, 0.50),
+			"p90_ms": 1e3 * obs.QuantileFromBuckets(bounds, counts, 0.90),
+			"p99_ms": 1e3 * obs.QuantileFromBuckets(bounds, counts, 0.99),
+		},
+		"window": map[string]any{
+			"size":       win.Size,
+			"errors":     win.Errors,
+			"error_rate": win.ErrorRate,
+			"p50_ms":     1e3 * win.P50,
+			"p90_ms":     1e3 * win.P90,
+			"p99_ms":     1e3 * win.P99,
+		},
+	})
+}
+
+// metricHelp maps sanitized Prometheus family names to their HELP text.
+var metricHelp = map[string]string{
+	"http_requests_total":           "HTTP requests by method, normalized route, and status code.",
+	"http_request_duration_seconds": "HTTP request latency in seconds by normalized route.",
+	"http_in_flight_requests":       "Requests currently being served.",
+	"queue_submitted":               "Jobs accepted into the queue.",
+	"queue_completed":               "Jobs that finished successfully.",
+	"queue_failed":                  "Jobs that finished with an error.",
+	"queue_canceled":                "Jobs canceled or timed out.",
+	"queue_rejected":                "Jobs rejected with 429 because the queue was full.",
+	"queue_depth":                   "Queued-but-not-running jobs (sampled at enqueue/dequeue).",
+	"queue_depth_now":               "Queued-but-not-running jobs at scrape time.",
+	"queue_running":                 "Jobs currently executing on the worker pool.",
+	"queue_wait_seconds":            "Time jobs spent queued before a worker picked them up.",
+	"job_duration_seconds":          "Job execution time by kind (flow, simulate, validate).",
+	"flow_stage_seconds":            "Per-stage latency aggregated across jobs (rewrite, pnr, verify, cellsim, simulate, ...).",
+	"sim_solve_seconds":             "Ground-state solve latency by solver backend (cache misses only).",
+	"cache_mem_hits":                "In-memory result cache hits.",
+	"cache_mem_misses":              "In-memory result cache misses.",
+	"cache_mem_evictions":           "In-memory result cache evictions.",
+	"cache_mem_bytes":               "Bytes held by the in-memory result cache.",
+	"cache_mem_entries":             "Entries held by the in-memory result cache.",
+	"cache_mem_hit_rate":            "Lifetime hit rate of the in-memory result cache.",
+}
+
+// handleMetrics renders every tracer metric in the Prometheus text
+// exposition format: counters and gauges as single series, histograms
+// with full cumulative _bucket/_sum/_count series (the previous ad-hoc
+// renderer silently dropped all bucket data). Point-in-time cache and
+// queue gauges are refreshed just before rendering.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.lru.Stats()
-	add("cache/mem/stats/hits", float64(st.Hits))
-	add("cache/mem/stats/misses", float64(st.Misses))
-	add("cache/mem/stats/evictions", float64(st.Evictions))
-	add("cache/mem/stats/entries", float64(st.Entries))
-	add("cache/mem/stats/bytes", float64(st.Bytes))
-	add("cache/mem/stats/hit_rate", st.HitRate())
-	add("queue/depth_now", float64(s.queue.Depth()))
-	sort.Strings(lines)
-	fmt.Fprintln(w, strings.Join(lines, "\n"))
+	s.tr.Gauge("cache/mem/hit_rate").Set(st.HitRate())
+	s.tr.Gauge("queue/depth_now").Set(float64(s.queue.Depth()))
+	w.Header().Set("Content-Type", obs.ExpositionContentType)
+	s.tr.WriteExposition(w, metricHelp)
 }

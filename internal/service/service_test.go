@@ -354,7 +354,7 @@ func TestGatesValidateAndMetadata(t *testing.T) {
 	if r.StatusCode != http.StatusOK {
 		t.Fatalf("metrics: %d", r.StatusCode)
 	}
-	for _, want := range []string{"cache_mem_stats_hits", "queue_submitted"} {
+	for _, want := range []string{"cache_mem_hits", "queue_submitted"} {
 		if !strings.Contains(string(b), want) {
 			t.Fatalf("metrics missing %q:\n%s", want, b)
 		}

@@ -19,6 +19,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -105,6 +106,19 @@ func main() {
 	job := submitAsync(map[string]any{"bench": "mux21", "engine": "ortho", "async": true})
 	waitJob(job, 30*time.Second)
 
+	step("GET /v1/jobs/{id}/trace")
+	var trace struct {
+		Trace struct {
+			Stages []struct {
+				Name string `json:"name"`
+			} `json:"stages"`
+		} `json:"trace"`
+	}
+	mustGet("/v1/jobs/"+job+"/trace", &trace)
+	if len(trace.Trace.Stages) == 0 || trace.Trace.Stages[0].Name != "flow" {
+		fatal(fmt.Errorf("job trace has no flow stage: %+v", trace.Trace.Stages))
+	}
+
 	step("concurrent burst (8 clients)")
 	var wg sync.WaitGroup
 	errs := make(chan error, 32)
@@ -131,12 +145,36 @@ func main() {
 		fatal(err)
 	}
 
-	step("GET /metrics")
-	metrics := rawGet("/metrics")
-	for _, want := range []string{"cache_mem_stats_hits", "queue_submitted"} {
+	step("GET /metrics (Prometheus exposition)")
+	ct, metrics := rawGetType("/metrics")
+	if !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		fatal(fmt.Errorf("metrics content type %q is not the exposition format", ct))
+	}
+	for _, want := range []string{
+		"# TYPE http_requests_total counter",
+		"# TYPE http_request_duration_seconds histogram",
+		"# TYPE queue_wait_seconds histogram",
+		"# TYPE flow_stage_seconds histogram",
+		`le="+Inf"`,
+		"_bucket{",
+		"cache_mem_hits",
+		"queue_submitted",
+	} {
 		if !strings.Contains(metrics, want) {
 			fatal(fmt.Errorf("metrics missing %q", want))
 		}
+	}
+	checkCumulative(metrics, "queue_wait_seconds_bucket{le=")
+
+	step("X-Request-Id response header")
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get("X-Request-Id") == "" {
+		fatal(fmt.Errorf("no X-Request-Id on response"))
 	}
 
 	step("SIGTERM: graceful drain and exit")
@@ -200,14 +238,40 @@ func mustGet(path string, v any) {
 	}
 }
 
-func rawGet(path string) string {
+// rawGetType returns the Content-Type header and body of a GET.
+func rawGetType(path string) (string, string) {
 	resp, err := http.Get(base + path)
 	if err != nil {
 		fatal(err)
 	}
 	defer resp.Body.Close()
 	b, _ := io.ReadAll(resp.Body)
-	return string(b)
+	return resp.Header.Get("Content-Type"), string(b)
+}
+
+// checkCumulative verifies a histogram's bucket samples never decrease
+// with increasing le (the exposition contract Prometheus relies on).
+func checkCumulative(exposition, prefix string) {
+	prev := -1.0
+	seen := 0
+	for _, line := range strings.Split(exposition, "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad sample line %q: %w", line, err))
+		}
+		if v < prev {
+			fatal(fmt.Errorf("%s buckets not cumulative at %q", prefix, line))
+		}
+		prev = v
+		seen++
+	}
+	if seen == 0 {
+		fatal(fmt.Errorf("no bucket series with prefix %q", prefix))
+	}
 }
 
 // mustPost returns (body, cache hit) and fails on any non-200 status.
