@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race bench bench-sim bench-cache bench-service table1 serve serve-smoke clean
+.PHONY: all build test check race bench bench-sim bench-cache bench-service table1 serve serve-smoke chaos-smoke clean
 
 all: build
 
@@ -61,6 +61,15 @@ serve:
 # verifies graceful drain on SIGTERM.
 serve-smoke:
 	$(GO) run ./scripts/serve-smoke
+
+# chaos-smoke boots the daemon with fault injection armed (worker panics,
+# disk-cache I/O failures, solver deadline pressure, each at 20%) and
+# asserts it survives a 200-request storm: no process exit, healthz 200
+# throughout, warm cache responses byte-identical, panic/degrade/breaker
+# metrics exposed, clean SIGTERM drain. CHAOS_RACE=1 builds the daemon
+# with the race detector.
+chaos-smoke:
+	$(GO) run ./scripts/chaos-smoke
 
 clean:
 	$(GO) clean ./...

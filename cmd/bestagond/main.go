@@ -13,6 +13,7 @@
 //	bestagond -log-level debug                # structured request logs
 //	bestagond -pprof-addr localhost:6060      # live profiling endpoint
 //	bestagond -report server-report.json      # written on shutdown
+//	bestagond -faults 'cache.disk.read=p:0.2' # chaos testing (see internal/faults)
 //
 // Endpoints:
 //
@@ -45,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/obs/obslog"
 	"repro/internal/service"
@@ -69,6 +71,11 @@ func main() {
 		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 		maxBody    = flag.Int64("max-body", 1, "request body bound in MiB (oversized bodies get 413)")
 		report     = flag.String("report", "", "write a JSON metrics report to FILE on shutdown ('-' for stdout)")
+
+		faultSpec     = flag.String("faults", "", "arm fault injection, e.g. 'cache.disk.read=p:0.2;service.job.panic=n:5' (also via BESTAGOND_FAULTS); chaos testing only")
+		faultSeed     = flag.Int64("faults-seed", 1, "seed for probabilistic fault triggers (deterministic replay)")
+		maxRetries    = flag.Int("max-retries", 2, "retries for transient disk-cache I/O failures (negative = none); repeated failures trip the breaker to memory-only caching")
+		degradeMargin = flag.Duration("degrade-margin", sim.DefaultDegradeMargin, "budget reserved for cheaper fallback engines under a job deadline (solver degradation ladder)")
 	)
 	flag.Parse()
 
@@ -82,16 +89,33 @@ func main() {
 	logger := obslog.New(os.Stderr, level).With(obslog.F("service", "bestagond"))
 
 	tr := obs.New()
+
+	// Fault injection (chaos testing): the flag wins over the environment
+	// variable so a one-off run can override a deployment-wide setting.
+	spec := *faultSpec
+	if spec == "" {
+		spec = os.Getenv("BESTAGOND_FAULTS")
+	}
+	if spec != "" {
+		if err := faults.Arm(spec, *faultSeed); err != nil {
+			fatal(err)
+		}
+		tr.Gauge("faults/armed").Set(1)
+		logger.Warn("faults_armed", obslog.F("spec", spec), obslog.F("seed", *faultSeed))
+	}
+
 	srv, err := service.New(service.Config{
-		Workers:      *workers,
-		QueueDepth:   *queueDepth,
-		JobTimeout:   *jobTimeout,
-		CacheBytes:   *cacheSize << 20,
-		CacheDir:     *cacheDir,
-		Solver:       *solver,
-		Tracer:       tr,
-		Logger:       logger,
-		MaxBodyBytes: *maxBody << 20,
+		Workers:       *workers,
+		QueueDepth:    *queueDepth,
+		JobTimeout:    *jobTimeout,
+		CacheBytes:    *cacheSize << 20,
+		CacheDir:      *cacheDir,
+		Solver:        *solver,
+		Tracer:        tr,
+		Logger:        logger,
+		MaxBodyBytes:  *maxBody << 20,
+		MaxRetries:    *maxRetries,
+		DegradeMargin: *degradeMargin,
 	})
 	if err != nil {
 		fatal(err)

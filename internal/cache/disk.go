@@ -1,10 +1,13 @@
 package cache
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+
+	"repro/internal/faults"
 )
 
 // Disk is an optional persistent layer for flow-level artifacts. Entries
@@ -35,18 +38,29 @@ func (d *Disk) path(key Key) string {
 	return filepath.Join(d.dir, hexPart[:2], name+".bin")
 }
 
-// Get reads the entry for key; ok is false when absent.
-func (d *Disk) Get(key Key) ([]byte, bool) {
+// Get reads the entry for key. A clean miss is (nil, false, nil); an I/O
+// failure is reported as an error so the resilient layer above can retry
+// it and trip its breaker (a missing entry is not a failure).
+func (d *Disk) Get(key Key) ([]byte, bool, error) {
+	if err := faults.Fail("cache.disk.read"); err != nil {
+		return nil, false, err
+	}
 	b, err := os.ReadFile(d.path(key))
 	if err != nil {
-		return nil, false
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("cache: disk get: %w", err)
 	}
-	return b, true
+	return b, true, nil
 }
 
 // Put writes the entry atomically (temp file + rename). Errors are
 // returned for the caller to log; a failed Put never corrupts the store.
 func (d *Disk) Put(key Key, val []byte) error {
+	if err := faults.Fail("cache.disk.write"); err != nil {
+		return err
+	}
 	p := d.path(key)
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 		return fmt.Errorf("cache: disk put: %w", err)

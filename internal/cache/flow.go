@@ -25,14 +25,22 @@ type FlowArtifact struct {
 	CellSim    *core.CellSimResult `json:"cellsim,omitempty"`
 	SQD        string              `json:"sqd,omitempty"`
 	Report     json.RawMessage     `json:"report,omitempty"`
+	// Degraded reports that deadline pressure forced a cheaper engine
+	// somewhere in the run (exact→ortho P&R, exact→anneal simulation).
+	// Degraded artifacts are never cached: a retry with more budget gets
+	// the full-quality result.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // FlowCache memoizes whole flow runs: an in-memory LRU in front of an
 // optional disk layer. Disk entries survive daemon restarts, so a warm
 // fleet can be primed from a shared artifact directory.
 type FlowCache struct {
-	Mem  *LRU
-	Disk *Disk // nil disables the persistent layer
+	Mem *LRU
+	// Disk is nil when the persistent layer is disabled; the service
+	// installs a ResilientDisk here so transient I/O errors are retried
+	// and repeated failures degrade to memory-only caching.
+	Disk DiskLayer
 }
 
 // Source values reported by Run.
@@ -64,7 +72,9 @@ func (fc *FlowCache) Run(ctx context.Context, spec *network.XAG, opts core.Optio
 			}
 		}
 		if fc.Disk != nil {
-			if b, ok := fc.Disk.Get(key); ok {
+			// Disk errors are non-fatal: the resilient layer has already
+			// retried, so a failure here falls through to a cold run.
+			if b, ok, err := fc.Disk.Get(key); err == nil && ok {
 				if art, err := decodeArtifact(b); err == nil {
 					fc.Mem.Put(key, b)
 					return art, SourceDisk, nil
@@ -78,6 +88,12 @@ func (fc *FlowCache) Run(ctx context.Context, spec *network.XAG, opts core.Optio
 		return nil, SourceMiss, err
 	}
 	if bypass {
+		return art, SourceBypass, nil
+	}
+	if art.Degraded {
+		// A degraded artifact reflects this request's deadline, not the
+		// problem content; caching it would serve reduced-quality results
+		// to well-budgeted future requests.
 		return art, SourceBypass, nil
 	}
 	b, err := json.Marshal(art)
@@ -112,6 +128,7 @@ func RunFlow(ctx context.Context, spec *network.XAG, opts core.Options, withSQD,
 		SiDBs:      res.SiDBs,
 		AreaNM2:    res.AreaNM2,
 		CellSim:    res.CellSim,
+		Degraded:   res.Degraded,
 	}
 	if withSQD {
 		s, err := res.ExportSQD()

@@ -1,0 +1,269 @@
+package cache
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/obslog"
+)
+
+// DiskLayer is the persistent cache interface FlowCache talks to: the raw
+// Disk store, or a ResilientDisk wrapping it with retries and a circuit
+// breaker. Get reports a clean miss as (nil, false, nil).
+type DiskLayer interface {
+	Get(key Key) ([]byte, bool, error)
+	Put(key Key, val []byte) error
+}
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int32
+
+// Breaker states, in gauge order: the cache_disk_breaker_state gauge
+// exposes these numeric values.
+const (
+	BreakerClosed   BreakerState = 0 // normal operation
+	BreakerHalfOpen BreakerState = 1 // cooldown elapsed; one probe allowed
+	BreakerOpen     BreakerState = 2 // disk bypassed; memory-only caching
+)
+
+// String names the state for logs.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	default:
+		return "unknown"
+	}
+}
+
+// ResilientOptions tunes a ResilientDisk.
+type ResilientOptions struct {
+	// MaxRetries is how many times a failed Get/Put is retried before the
+	// failure counts against the breaker (default 2; negative disables
+	// retries).
+	MaxRetries int
+	// RetryBase is the first backoff delay; each retry doubles it and adds
+	// up to 50% deterministic jitter (default 2ms).
+	RetryBase time.Duration
+	// FailThreshold is how many consecutive failed operations (after
+	// retries) trip the breaker open (default 5).
+	FailThreshold int
+	// Cooldown is how long the breaker stays open before half-opening to
+	// probe the disk again (default 5s).
+	Cooldown time.Duration
+	// Seed fixes the jitter sequence (default 1).
+	Seed int64
+	// Tracer receives breaker and retry metrics (nil-safe).
+	Tracer *obs.Tracer
+	// Logger receives structured state-transition logs (nil disables).
+	Logger *obslog.Logger
+}
+
+// ResilientDisk wraps a DiskLayer with exponential-backoff retries for
+// transient I/O failures and a circuit breaker that degrades the service
+// to memory-only caching after repeated failures. While the breaker is
+// open every operation short-circuits (Get reports a miss, Put drops the
+// write); after a cooldown it half-opens and lets a single probe through —
+// success closes it, failure re-opens it for another cooldown.
+type ResilientDisk struct {
+	inner DiskLayer
+	opts  ResilientOptions
+
+	now   func() time.Time      // test hook
+	sleep func(d time.Duration) // test hook
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	state    BreakerState
+	fails    int       // consecutive failed operations
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+
+	stateGauge                            *obs.Gauge
+	trips, retries, ioErrors, shortCircts *obs.Counter
+	log                                   *obslog.Logger
+}
+
+// NewResilientDisk wraps inner. Metrics are registered immediately so the
+// breaker gauges are present in /metrics from process start.
+func NewResilientDisk(inner DiskLayer, opts ResilientOptions) *ResilientDisk {
+	if opts.MaxRetries == 0 {
+		opts.MaxRetries = 2
+	}
+	if opts.MaxRetries < 0 {
+		opts.MaxRetries = 0
+	}
+	if opts.RetryBase <= 0 {
+		opts.RetryBase = 2 * time.Millisecond
+	}
+	if opts.FailThreshold <= 0 {
+		opts.FailThreshold = 5
+	}
+	if opts.Cooldown <= 0 {
+		opts.Cooldown = 5 * time.Second
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	tr := opts.Tracer
+	r := &ResilientDisk{
+		inner:       inner,
+		opts:        opts,
+		now:         time.Now,
+		sleep:       time.Sleep,
+		rng:         rand.New(rand.NewSource(opts.Seed)),
+		stateGauge:  tr.Gauge("cache/disk/breaker_state"),
+		trips:       tr.Counter("cache/disk/breaker_trips_total"),
+		retries:     tr.Counter("cache/disk/retries_total"),
+		ioErrors:    tr.Counter("cache/disk/io_errors_total"),
+		shortCircts: tr.Counter("cache/disk/short_circuits_total"),
+		log:         opts.Logger,
+	}
+	r.stateGauge.Set(float64(BreakerClosed))
+	return r
+}
+
+// State returns the breaker's current position (cooldown expiry is only
+// observed by the next operation, not by State).
+func (r *ResilientDisk) State() BreakerState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state
+}
+
+// allow decides whether an operation may reach the disk. It performs the
+// open→half-open transition when the cooldown has elapsed.
+func (r *ResilientDisk) allow() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch r.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if r.now().Sub(r.openedAt) < r.opts.Cooldown {
+			return false
+		}
+		r.setStateLocked(BreakerHalfOpen)
+		r.probing = true
+		return true
+	default: // half-open: a single probe at a time
+		if r.probing {
+			return false
+		}
+		r.probing = true
+		return true
+	}
+}
+
+// onResult records an operation outcome and drives the state machine.
+func (r *ResilientDisk) onResult(failed bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	wasProbe := r.state == BreakerHalfOpen
+	r.probing = false
+	if !failed {
+		r.fails = 0
+		if wasProbe {
+			r.setStateLocked(BreakerClosed)
+		}
+		return
+	}
+	r.fails++
+	if wasProbe || (r.state == BreakerClosed && r.fails >= r.opts.FailThreshold) {
+		r.openedAt = r.now()
+		if r.state != BreakerOpen {
+			r.trips.Inc()
+			r.setStateLocked(BreakerOpen)
+		}
+	}
+}
+
+// setStateLocked transitions the breaker, updating the gauge and logging
+// the change. Caller holds r.mu.
+func (r *ResilientDisk) setStateLocked(s BreakerState) {
+	if r.state == s {
+		return
+	}
+	from := r.state
+	r.state = s
+	r.stateGauge.Set(float64(s))
+	switch s {
+	case BreakerOpen:
+		r.log.Warn("cache_disk_breaker_open",
+			obslog.F("from", from.String()),
+			obslog.F("consecutive_failures", r.fails),
+			obslog.F("cooldown", r.opts.Cooldown.String()),
+			obslog.F("effect", "degraded to memory-only caching"))
+	case BreakerHalfOpen:
+		r.log.Info("cache_disk_breaker_half_open", obslog.F("from", from.String()))
+	case BreakerClosed:
+		r.log.Info("cache_disk_breaker_closed", obslog.F("from", from.String()))
+	}
+}
+
+// backoff returns the delay before retry attempt n (0-based): an
+// exponential base with up to 50% deterministic jitter.
+func (r *ResilientDisk) backoff(n int) time.Duration {
+	d := r.opts.RetryBase << uint(n)
+	r.mu.Lock()
+	j := time.Duration(r.rng.Int63n(int64(d)/2 + 1))
+	r.mu.Unlock()
+	return d + j
+}
+
+// Get reads through the breaker with retries. While the breaker is open
+// it reports a miss so the flow cache silently degrades to memory-only.
+func (r *ResilientDisk) Get(key Key) ([]byte, bool, error) {
+	if !r.allow() {
+		r.shortCircts.Inc()
+		return nil, false, nil
+	}
+	var b []byte
+	var ok bool
+	err := r.withRetry(func() error {
+		var e error
+		b, ok, e = r.inner.Get(key)
+		return e
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return b, ok, nil
+}
+
+// Put writes through the breaker with retries. While the breaker is open
+// the write is dropped (the memory layer still holds the entry).
+func (r *ResilientDisk) Put(key Key, val []byte) error {
+	if !r.allow() {
+		r.shortCircts.Inc()
+		return nil
+	}
+	return r.withRetry(func() error { return r.inner.Put(key, val) })
+}
+
+// withRetry runs op with the retry policy, then reports the final outcome
+// to the breaker.
+func (r *ResilientDisk) withRetry(op func() error) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = op()
+		if err == nil {
+			r.onResult(false)
+			return nil
+		}
+		r.ioErrors.Inc()
+		if attempt >= r.opts.MaxRetries {
+			break
+		}
+		r.retries.Inc()
+		r.sleep(r.backoff(attempt))
+	}
+	r.onResult(true)
+	return err
+}

@@ -1,0 +1,182 @@
+package cache
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeDisk is a scriptable DiskLayer: it fails while failing is set and
+// otherwise stores entries in a map.
+type fakeDisk struct {
+	failing bool
+	gets    int
+	puts    int
+	data    map[Key][]byte
+}
+
+var errFakeIO = errors.New("fake I/O failure")
+
+func newFakeDisk() *fakeDisk { return &fakeDisk{data: map[Key][]byte{}} }
+
+func (f *fakeDisk) Get(key Key) ([]byte, bool, error) {
+	f.gets++
+	if f.failing {
+		return nil, false, errFakeIO
+	}
+	b, ok := f.data[key]
+	return b, ok, nil
+}
+
+func (f *fakeDisk) Put(key Key, val []byte) error {
+	f.puts++
+	if f.failing {
+		return errFakeIO
+	}
+	f.data[key] = val
+	return nil
+}
+
+// newTestResilient wires a ResilientDisk with instant sleeps and a
+// controllable clock.
+func newTestResilient(inner DiskLayer, opts ResilientOptions) (*ResilientDisk, *time.Time) {
+	r := NewResilientDisk(inner, opts)
+	now := time.Unix(1000, 0)
+	r.now = func() time.Time { return now }
+	r.sleep = func(time.Duration) {}
+	return r, &now
+}
+
+func TestResilientRetriesTransientFailure(t *testing.T) {
+	f := newFakeDisk()
+	attempts := 0
+	flaky := &flakyDisk{inner: f, failFirst: 2, attempts: &attempts}
+	r, _ := newTestResilient(flaky, ResilientOptions{MaxRetries: 3})
+	if err := r.Put(Key("k"), []byte("v")); err != nil {
+		t.Fatalf("Put should have succeeded after retries: %v", err)
+	}
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3 (two failures + success)", attempts)
+	}
+	if b, ok, err := r.Get(Key("k")); err != nil || !ok || string(b) != "v" {
+		t.Fatalf("Get = %q, %v, %v", b, ok, err)
+	}
+	if r.State() != BreakerClosed {
+		t.Fatalf("breaker = %v after recovered retries, want closed", r.State())
+	}
+}
+
+// flakyDisk fails the first failFirst operations, then delegates.
+type flakyDisk struct {
+	inner     DiskLayer
+	failFirst int
+	attempts  *int
+}
+
+func (f *flakyDisk) Get(key Key) ([]byte, bool, error) {
+	*f.attempts++
+	if *f.attempts <= f.failFirst {
+		return nil, false, errFakeIO
+	}
+	return f.inner.Get(key)
+}
+
+func (f *flakyDisk) Put(key Key, val []byte) error {
+	*f.attempts++
+	if *f.attempts <= f.failFirst {
+		return errFakeIO
+	}
+	return f.inner.Put(key, val)
+}
+
+func TestBreakerTripHalfOpenClose(t *testing.T) {
+	f := newFakeDisk()
+	f.failing = true
+	r, now := newTestResilient(f, ResilientOptions{
+		MaxRetries:    -1, // no retries: each op is one breaker strike
+		FailThreshold: 3,
+		Cooldown:      10 * time.Second,
+	})
+
+	// Three consecutive failures trip the breaker open.
+	for i := 0; i < 3; i++ {
+		if err := r.Put(Key("k"), []byte("v")); err == nil {
+			t.Fatal("Put should fail while the disk is failing")
+		}
+	}
+	if r.State() != BreakerOpen {
+		t.Fatalf("breaker = %v after %d failures, want open", r.State(), 3)
+	}
+
+	// Open: operations short-circuit without touching the disk. A Get is a
+	// silent miss, a Put a silent drop.
+	before := f.puts + f.gets
+	if _, ok, err := r.Get(Key("k")); ok || err != nil {
+		t.Fatalf("open-breaker Get = %v, %v; want silent miss", ok, err)
+	}
+	if err := r.Put(Key("k"), []byte("v")); err != nil {
+		t.Fatalf("open-breaker Put = %v; want silent drop", err)
+	}
+	if f.puts+f.gets != before {
+		t.Fatal("open breaker still reached the disk")
+	}
+
+	// Cooldown elapses; the next operation is a half-open probe. The disk
+	// is still failing, so the probe re-opens the breaker.
+	*now = now.Add(11 * time.Second)
+	if err := r.Put(Key("k"), []byte("v")); err == nil {
+		t.Fatal("probe should have failed")
+	}
+	if r.State() != BreakerOpen {
+		t.Fatalf("breaker = %v after failed probe, want open again", r.State())
+	}
+
+	// Second cooldown; disk recovered; the probe closes the breaker.
+	f.failing = false
+	*now = now.Add(11 * time.Second)
+	if err := r.Put(Key("k"), []byte("v")); err != nil {
+		t.Fatalf("recovered probe failed: %v", err)
+	}
+	if r.State() != BreakerClosed {
+		t.Fatalf("breaker = %v after successful probe, want closed", r.State())
+	}
+	if b, ok, err := r.Get(Key("k")); err != nil || !ok || string(b) != "v" {
+		t.Fatalf("Get after recovery = %q, %v, %v", b, ok, err)
+	}
+}
+
+func TestBreakerHalfOpenAllowsSingleProbe(t *testing.T) {
+	f := newFakeDisk()
+	f.failing = true
+	r, now := newTestResilient(f, ResilientOptions{
+		MaxRetries:    -1,
+		FailThreshold: 1,
+		Cooldown:      time.Second,
+	})
+	_ = r.Put(Key("k"), []byte("v"))
+	if r.State() != BreakerOpen {
+		t.Fatalf("breaker = %v, want open", r.State())
+	}
+	*now = now.Add(2 * time.Second)
+	if !r.allow() { // first caller becomes the probe
+		t.Fatal("first post-cooldown caller should be allowed through")
+	}
+	if r.allow() { // concurrent second caller must be short-circuited
+		t.Fatal("second caller during an in-flight probe should be blocked")
+	}
+	r.onResult(false)
+	if r.State() != BreakerClosed {
+		t.Fatalf("breaker = %v after probe success, want closed", r.State())
+	}
+}
+
+func TestBackoffGrowsExponentially(t *testing.T) {
+	r, _ := newTestResilient(newFakeDisk(), ResilientOptions{RetryBase: 2 * time.Millisecond})
+	for n := 0; n < 4; n++ {
+		d := r.backoff(n)
+		base := 2 * time.Millisecond << uint(n)
+		if d < base || d > base+base/2 {
+			t.Fatalf("backoff(%d) = %v, want in [%v, %v]", n, d, base, base+base/2)
+		}
+	}
+}

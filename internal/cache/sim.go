@@ -61,7 +61,12 @@ func (c *CachedSolver) SolveTrack(e *sim.Engine, opts sim.SolveOptions) (sim.Sol
 	}
 	c.Tracer.Histogram(obs.Labeled("sim/solve_seconds", "solver", sol.Solver), obs.DefBuckets...).
 		Observe(time.Since(start).Seconds())
-	c.Cache.Put(key, encodeSolution(sol, order))
+	if !sol.Degraded {
+		// A degraded solution reflects this call's deadline pressure, not
+		// the problem content; caching it would hand reduced-quality answers
+		// to well-budgeted future callers under the same key.
+		c.Cache.Put(key, encodeSolution(sol, order))
+	}
 	return sol, false, nil
 }
 

@@ -19,6 +19,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/clocking"
 	"repro/internal/gatelayout"
@@ -75,6 +76,14 @@ type Options struct {
 	// Tracer receives flow-wide telemetry (stage spans, engine metrics);
 	// nil disables instrumentation with zero overhead.
 	Tracer *obs.Tracer
+	// DegradeMargin is the budget the degradation ladder reserves for its
+	// cheaper fallback engines when the run has a deadline: the exact P&R
+	// engine and exact ground-state solvers run under (deadline − margin)
+	// so that, on expiry, the ortho router or annealer still has time to
+	// produce a best-effort result marked Degraded instead of a timeout
+	// (default sim.DefaultDegradeMargin; the margin does not enter cache
+	// keys because degraded results are never cached).
+	DegradeMargin time.Duration
 }
 
 // CellSimResult is the whole-layout ground-state simulation outcome.
@@ -87,6 +96,9 @@ type CellSimResult struct {
 	FreeDots int
 	// EnergyEV is the ground-state (or best-found) energy.
 	EnergyEV float64
+	// Degraded reports that deadline pressure forced the simulation onto a
+	// cheaper engine than requested (see sim.Degrading).
+	Degraded bool `json:",omitempty"`
 }
 
 // Result collects every artifact of a flow run.
@@ -112,6 +124,11 @@ type Result struct {
 	SiDBs int
 	// AreaNM2 is the Table 1 layout area.
 	AreaNM2 float64
+	// Degraded reports that deadline pressure forced some stage onto a
+	// cheaper engine (exact→ortho P&R, exact→anneal simulation). The
+	// result is usable but not the quality the options asked for; callers
+	// that cache artifacts must not cache degraded ones.
+	Degraded bool
 }
 
 // Run executes the flow on a specification network.
@@ -188,11 +205,39 @@ func RunContext(ctx context.Context, spec *network.XAG, opts Options) (*Result, 
 		layout, err = pnr.ExactContext(ctx, g, ex)
 		res.EngineUsed = "exact"
 	default:
-		layout, err = pnr.ExactContext(ctx, g, ex)
-		res.EngineUsed = "exact"
-		if err != nil && ctx.Err() == nil {
+		// The auto engine is a degradation ladder: exact SAT-based P&R
+		// first, the scalable ortho router as fallback. With a deadline,
+		// the exact attempt runs under (deadline − margin) so the router
+		// still has budget when SAT exhausts its share; a fallback forced
+		// by deadline pressure (rather than an exceeded SAT node budget)
+		// marks the result Degraded.
+		margin := opts.DegradeMargin
+		if margin <= 0 {
+			margin = sim.DefaultDegradeMargin
+		}
+		exactCtx, cancel := ctx, context.CancelFunc(func() {})
+		skipExact := false
+		if deadline, ok := ctx.Deadline(); ok {
+			if time.Until(deadline) <= margin {
+				skipExact = true
+			} else {
+				exactCtx, cancel = context.WithDeadline(ctx, deadline.Add(-margin))
+			}
+		}
+		deadlinePressure := skipExact
+		if !skipExact {
+			layout, err = pnr.ExactContext(exactCtx, g, ex)
+			res.EngineUsed = "exact"
+			deadlinePressure = err != nil && exactCtx.Err() != nil
+		}
+		cancel()
+		if (skipExact || err != nil) && ctx.Err() == nil {
 			layout, err = pnr.OrthoContext(ctx, g, tr)
 			res.EngineUsed = "ortho"
+			if err == nil && deadlinePressure {
+				res.Degraded = true
+				tr.Counter(obs.Labeled("flow/degraded_total", "from", "exact", "to", "ortho")).Inc()
+			}
 		}
 	}
 	sp.SetAttr("engine", res.EngineUsed)
@@ -253,10 +298,17 @@ func RunContext(ctx context.Context, spec *network.XAG, opts Options) (*Result, 
 
 		// (7½) optional whole-layout ground-state simulation.
 		if opts.CellSim {
-			solver, err := sim.Lookup(opts.GroundSolver)
+			inner, err := sim.Lookup(opts.GroundSolver)
 			if err != nil {
 				return res, fmt.Errorf("core: cell simulation: %w", err)
 			}
+			// The degradation ladder retries deadline-starved exact solves
+			// with annealing on the remaining budget (see sim.Degrading).
+			solver := sim.GroundStateSolver(&sim.Degrading{
+				Inner:  inner,
+				Margin: opts.DegradeMargin,
+				Tracer: tr,
+			})
 			sp = tr.Start("cellsim")
 			eng := sim.NewEngine(cell, sim.ParamsFig5)
 			free := len(eng.FreeIndices())
@@ -284,6 +336,10 @@ func RunContext(ctx context.Context, spec *network.XAG, opts Options) (*Result, 
 				Exact:    sol.Exact,
 				FreeDots: free,
 				EnergyEV: sol.EnergyEV,
+				Degraded: sol.Degraded,
+			}
+			if sol.Degraded {
+				res.Degraded = true
 			}
 			sp.SetAttr("solver", sol.Solver)
 			sp.SetAttr("exact", sol.Exact)

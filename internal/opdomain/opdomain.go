@@ -16,7 +16,9 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/faults"
 	"repro/internal/gatelib"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -116,10 +118,24 @@ func AnalyzeOpts(d *gatelib.Design, truth func(uint32) uint32, sweep Sweep, opts
 	}
 	next := make(chan int)
 	var wg sync.WaitGroup
+	var panicked atomic.Value // first recovered panic, re-raised in the caller
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, panicBox{r})
+					// Keep draining so the feeder below never blocks on a
+					// send to a channel nobody reads — a panicking worker
+					// must not deadlock the sweep.
+					for range next {
+					}
+				}
+			}()
+			if faults.Should("opdomain.point.panic") {
+				panic("injected fault: opdomain.point.panic")
+			}
 			for i := range next {
 				dom.Points[i] = evaluatePoint(d, truth, grid[i], opts)
 			}
@@ -130,10 +146,19 @@ func AnalyzeOpts(d *gatelib.Design, truth func(uint32) uint32, sweep Sweep, opts
 	}
 	close(next)
 	wg.Wait()
+	if r := panicked.Load(); r != nil {
+		// Re-raise on the caller's goroutine, where the service queue's
+		// per-job recovery can convert it into a job error.
+		panic(r.(panicBox).v)
+	}
 	opts.Tracer.Counter("opdomain/points").Add(int64(len(grid)))
 	opts.Tracer.Gauge("opdomain/last_workers").Set(float64(workers))
 	return dom
 }
+
+// panicBox gives every recovered panic value the same concrete type, so
+// racing atomic.Value.CompareAndSwap calls never see mismatched types.
+type panicBox struct{ v any }
 
 // evaluatePoint validates the design at one parameter point.
 func evaluatePoint(d *gatelib.Design, truth func(uint32) uint32, params sim.Params, opts Options) Point {

@@ -12,6 +12,8 @@ import (
 	"context"
 	"fmt"
 	"sort"
+
+	"repro/internal/faults"
 )
 
 // Lit is a literal: variable index (1-based) with sign. Positive values are
@@ -106,6 +108,7 @@ type Solver struct {
 	seen      []bool  // scratch for conflict analysis
 	model     []lbool // snapshot of the last satisfying assignment
 	ok        bool    // false once a top-level conflict is found
+	apiErr    error   // first API misuse (see Err); solver is then unusable
 	claInc    float64 // clause activity increment
 	maxLearnt int
 	m         Metrics
@@ -220,13 +223,19 @@ func (s *Solver) value(l Lit) lbool {
 }
 
 // AddClause adds a clause; returns false if the formula became trivially
-// unsatisfiable. Literals must reference variables from NewVar.
+// unsatisfiable. Literals must reference variables from NewVar: a clause
+// with an unknown literal, or one added while a search is in progress, is
+// rejected (false) and recorded as a usage error — the solver is then
+// stuck at Unknown until the error is inspected via Err. Misuse thus
+// surfaces as an error at the API boundary instead of a panic that would
+// tear down a shared worker; internal invariant violations still panic.
 func (s *Solver) AddClause(lits ...Lit) bool {
-	if !s.ok {
+	if !s.ok || s.apiErr != nil {
 		return false
 	}
 	if s.decisionLevel() != 0 {
-		panic("sat: AddClause called during search")
+		s.apiErr = fmt.Errorf("sat: AddClause called during search")
+		return false
 	}
 	// Normalize: sort, dedupe, detect tautology, drop false literals.
 	ls := append([]Lit(nil), lits...)
@@ -235,7 +244,8 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	var prev Lit
 	for _, l := range ls {
 		if l.Var() > s.numVars || l == 0 {
-			panic(fmt.Sprintf("sat: clause references unknown literal %d", l))
+			s.apiErr = fmt.Errorf("sat: clause references unknown literal %d", l)
+			return false
 		}
 		if l == prev {
 			continue
@@ -522,10 +532,19 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	return s.SolveContext(context.Background(), assumptions...)
 }
 
+// Err returns the first API usage error recorded by AddClause (an unknown
+// literal, or a clause added during search), or nil. Once set, AddClause
+// rejects further clauses and Solve returns Unknown — never a bogus
+// Sat/Unsat derived from a partially-built formula.
+func (s *Solver) Err() error { return s.apiErr }
+
 // SolveContext is Solve under a context: when the context is cancelled or
 // its deadline expires the search is interrupted and Unknown is returned.
 // A nil context behaves like context.Background.
 func (s *Solver) SolveContext(ctx context.Context, assumptions ...Lit) Status {
+	if s.apiErr != nil || faults.Should("sat.solve.unknown") {
+		return Unknown
+	}
 	if !s.ok {
 		return Unsat
 	}

@@ -449,3 +449,45 @@ func BenchmarkPigeonhole7(b *testing.B) {
 		}
 	}
 }
+
+func TestAddClauseUnknownLiteralIsError(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	if s.AddClause(a, Lit(99)) {
+		t.Error("clause with an unknown literal must be rejected")
+	}
+	if s.Err() == nil {
+		t.Fatal("unknown literal must record an API error, not panic")
+	}
+	// The solver is poisoned: further clauses are rejected and Solve
+	// answers Unknown, never a bogus Sat/Unsat.
+	if s.AddClause(a) {
+		t.Error("AddClause after an API error must be rejected")
+	}
+	if got := s.Solve(); got != Unknown {
+		t.Errorf("Solve after API error = %v, want Unknown", got)
+	}
+}
+
+func TestAddClauseZeroLiteralIsError(t *testing.T) {
+	s := New()
+	s.NewVar()
+	if s.AddClause(Lit(0)) {
+		t.Error("clause with literal 0 must be rejected")
+	}
+	if s.Err() == nil {
+		t.Fatal("literal 0 must record an API error")
+	}
+}
+
+func TestHealthySolverHasNoErr(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(a, b)
+	if s.Solve() != Sat {
+		t.Fatal("trivial formula must be sat")
+	}
+	if s.Err() != nil {
+		t.Fatalf("healthy solver reports Err %v", s.Err())
+	}
+}

@@ -10,11 +10,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/obs/obslog"
 )
 
 // JobState is the lifecycle state of a queued job.
@@ -44,6 +47,35 @@ var (
 // solver underneath the service is context-aware).
 type JobFunc func(ctx context.Context) (any, error)
 
+// PanicError is the error a job fails with when its JobFunc panicked. The
+// worker recovers the panic (keeping the pool alive), captures the stack,
+// and records the job as failed with ErrorKind "panic".
+type PanicError struct {
+	// Value is what was passed to panic().
+	Value any
+	// Stack is the panicking goroutine's stack at recovery.
+	Stack []byte
+}
+
+// Error renders the panic value (the stack is kept out of the error string
+// — it goes to the structured log, not to API clients).
+func (p *PanicError) Error() string { return fmt.Sprintf("job panicked: %v", p.Value) }
+
+// DegradedResult is implemented by job results that carry a degradation
+// marker (deadline pressure forced a cheaper engine); the queue surfaces
+// it as ErrorKind "degraded" on otherwise-successful jobs.
+type DegradedResult interface{ DegradedResult() bool }
+
+// Error kinds, the machine-readable failure taxonomy of the jobs API.
+const (
+	ErrKindPanic    = "panic"
+	ErrKindTimeout  = "timeout"
+	ErrKindCanceled = "canceled"
+	ErrKindDegraded = "degraded"
+	ErrKindError    = "error"
+	ErrKindNotFound = "not_found"
+)
+
 // Job is one unit of queued work.
 type Job struct {
 	ID   string
@@ -55,6 +87,7 @@ type Job struct {
 	mu       sync.Mutex
 	state    JobState
 	err      string
+	errKind  string
 	result   any
 	created  time.Time
 	started  time.Time
@@ -100,6 +133,15 @@ func (j *Job) Result() (any, string) {
 	return j.result, j.err
 }
 
+// ErrorKind returns the machine-readable failure class ("panic",
+// "timeout", "canceled", "degraded", "error"), or "" for a clean success
+// or a job not yet terminal.
+func (j *Job) ErrorKind() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.errKind
+}
+
 // Cancel requests cancellation: a queued job completes immediately as
 // canceled; a running job has its context canceled and finishes when the
 // computation unwinds.
@@ -130,6 +172,7 @@ type Status struct {
 	Kind       string   `json:"kind"`
 	State      JobState `json:"state"`
 	Error      string   `json:"error,omitempty"`
+	ErrorKind  string   `json:"error_kind,omitempty"`
 	CreatedAt  string   `json:"created_at"`
 	StartedAt  string   `json:"started_at,omitempty"`
 	FinishedAt string   `json:"finished_at,omitempty"`
@@ -146,6 +189,7 @@ func (j *Job) Snapshot() Status {
 		Kind:      j.Kind,
 		State:     j.state,
 		Error:     j.err,
+		ErrorKind: j.errKind,
 		CreatedAt: j.created.UTC().Format(time.RFC3339Nano),
 	}
 	if !j.started.IsZero() {
@@ -183,15 +227,18 @@ type Queue struct {
 	runningN atomic.Int64
 
 	tr                                               *obs.Tracer
+	log                                              *obslog.Logger
 	submitted, completed, failed, canceled, rejected *obs.Counter
+	panicked                                         *obs.Counter
 	depth, running                                   *obs.Gauge
 	waitHist                                         *obs.Histogram
 }
 
 // NewQueue starts a queue with the given worker count, buffer depth, and
 // default per-job timeout (0 = no deadline). The tracer (nil-safe)
-// receives queue metrics under "queue/".
-func NewQueue(workers, depth int, timeout time.Duration, tr *obs.Tracer) *Queue {
+// receives queue metrics under "queue/"; the logger (nil-safe) receives
+// panic stacks and failure records.
+func NewQueue(workers, depth int, timeout time.Duration, tr *obs.Tracer, log *obslog.Logger) *Queue {
 	if workers <= 0 {
 		workers = 1
 	}
@@ -203,7 +250,9 @@ func NewQueue(workers, depth int, timeout time.Duration, tr *obs.Tracer) *Queue 
 		timeout:   timeout,
 		byID:      make(map[string]*Job),
 		tr:        tr,
+		log:       log,
 		waitHist:  tr.Histogram("queue/wait_seconds", obs.DefBuckets...),
+		panicked:  tr.Counter("jobs/panicked_total"),
 		submitted: tr.Counter("queue/submitted"),
 		completed: tr.Counter("queue/completed"),
 		failed:    tr.Counter("queue/failed"),
@@ -330,7 +379,7 @@ func (q *Queue) run(j *Job) {
 	q.waitHist.Observe(started.Sub(created).Seconds())
 	q.running.Set(float64(q.runningN.Add(1)))
 
-	res, err := j.fn(ctx)
+	res, err := q.safeRun(j, ctx)
 	cancel()
 	q.running.Set(float64(q.runningN.Add(-1)))
 	q.tr.Histogram(obs.Labeled("job/duration_seconds", "kind", j.Kind), obs.DefBuckets...).
@@ -339,21 +388,62 @@ func (q *Queue) run(j *Job) {
 	j.mu.Lock()
 	j.finished = time.Now()
 	j.result = res
+	var pe *PanicError
 	switch {
 	case err == nil:
 		j.state = JobDone
+		if d, ok := res.(DegradedResult); ok && d.DegradedResult() {
+			j.errKind = ErrKindDegraded
+		}
 		q.completed.Inc()
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+	case errors.As(err, &pe):
+		j.state = JobFailed
+		j.err = err.Error()
+		j.errKind = ErrKindPanic
+		q.failed.Inc()
+	case errors.Is(err, context.DeadlineExceeded):
 		j.state = JobCanceled
 		j.err = err.Error()
+		j.errKind = ErrKindTimeout
+		q.canceled.Inc()
+	case errors.Is(err, context.Canceled):
+		j.state = JobCanceled
+		j.err = err.Error()
+		j.errKind = ErrKindCanceled
 		q.canceled.Inc()
 	default:
 		j.state = JobFailed
 		j.err = err.Error()
+		j.errKind = ErrKindError
 		q.failed.Inc()
 	}
 	close(j.done)
 	j.mu.Unlock()
+}
+
+// safeRun executes the job function with panic isolation: a panicking job
+// is converted into a *PanicError (stack captured for the structured log)
+// instead of tearing down the worker — one poisoned request must not take
+// the pool, and with it the whole daemon, down.
+func (q *Queue) safeRun(j *Job, ctx context.Context) (res any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe := &PanicError{Value: r, Stack: debug.Stack()}
+			res, err = nil, pe
+			q.panicked.Inc()
+			q.log.Error("job_panic",
+				obslog.F("job_id", j.ID),
+				obslog.F("kind", j.Kind),
+				obslog.F("panic", fmt.Sprint(r)),
+				obslog.F("stack", string(pe.Stack)))
+		}
+	}()
+	// The fault point stands in for any latent bug a request can tickle;
+	// chaos tests arm it to prove the recovery path above.
+	if faults.Should("service.job.panic") {
+		panic("injected fault: service.job.panic")
+	}
+	return j.fn(ctx)
 }
 
 // Drain stops accepting work and waits for in-flight jobs. If ctx expires

@@ -21,7 +21,7 @@ func blockingJob(release <-chan struct{}) JobFunc {
 }
 
 func TestQueueBackpressure(t *testing.T) {
-	q := NewQueue(1, 1, 0, nil)
+	q := NewQueue(1, 1, 0, nil, nil)
 	release := make(chan struct{})
 	j1, err := q.Submit("t", 0, blockingJob(release))
 	if err != nil {
@@ -45,7 +45,7 @@ func TestQueueBackpressure(t *testing.T) {
 }
 
 func TestQueueCancelQueuedJob(t *testing.T) {
-	q := NewQueue(1, 2, 0, nil)
+	q := NewQueue(1, 2, 0, nil, nil)
 	release := make(chan struct{})
 	defer close(release)
 	j1, err := q.Submit("t", 0, blockingJob(release))
@@ -65,7 +65,7 @@ func TestQueueCancelQueuedJob(t *testing.T) {
 }
 
 func TestQueueJobTimeout(t *testing.T) {
-	q := NewQueue(1, 2, 0, nil)
+	q := NewQueue(1, 2, 0, nil, nil)
 	j, err := q.Submit("t", 20*time.Millisecond, blockingJob(make(chan struct{})))
 	if err != nil {
 		t.Fatal(err)
@@ -81,7 +81,7 @@ func TestQueueJobTimeout(t *testing.T) {
 }
 
 func TestQueueDrain(t *testing.T) {
-	q := NewQueue(2, 4, 0, nil)
+	q := NewQueue(2, 4, 0, nil, nil)
 	release := make(chan struct{})
 	var jobs []*Job
 	for i := 0; i < 3; i++ {
@@ -111,7 +111,7 @@ func TestQueueDrain(t *testing.T) {
 }
 
 func TestQueueDrainForceCancels(t *testing.T) {
-	q := NewQueue(1, 1, 0, nil)
+	q := NewQueue(1, 1, 0, nil, nil)
 	j, err := q.Submit("t", 0, blockingJob(make(chan struct{}))) // never released
 	if err != nil {
 		t.Fatal(err)

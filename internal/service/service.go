@@ -50,6 +50,14 @@ type Config struct {
 	Tracer *obs.Tracer
 	// Logger receives structured JSON request/job logs (nil disables).
 	Logger *obslog.Logger
+	// MaxRetries bounds retries of transient disk-cache I/O failures
+	// (default 2; negative disables). Repeated failures trip a circuit
+	// breaker that degrades the service to memory-only caching.
+	MaxRetries int
+	// DegradeMargin is the budget the solver degradation ladder reserves
+	// for its cheaper fallback engines under a job deadline (default
+	// sim.DefaultDegradeMargin; see sim.Degrading).
+	DegradeMargin time.Duration
 }
 
 // Server is the bestagond HTTP service: a JSON API over the design flow,
@@ -109,9 +117,16 @@ func New(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.flow.Disk = d
+		// The resilient wrapper retries transient I/O and trips a breaker
+		// to memory-only caching when the disk keeps failing, so cache
+		// storage trouble degrades throughput instead of availability.
+		s.flow.Disk = cache.NewResilientDisk(d, cache.ResilientOptions{
+			MaxRetries: cfg.MaxRetries,
+			Tracer:     s.tr,
+			Logger:     s.log,
+		})
 	}
-	s.queue = NewQueue(cfg.Workers, cfg.QueueDepth, cfg.JobTimeout, s.tr)
+	s.queue = NewQueue(cfg.Workers, cfg.QueueDepth, cfg.JobTimeout, s.tr, s.log)
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/flow", s.handleFlow)
@@ -149,7 +164,14 @@ func (s *Server) Drain(ctx context.Context) error { return s.queue.Drain(ctx) }
 type jobResult struct {
 	body   []byte
 	source string // cache.SourceMem, cache.SourceDisk, "miss", "bypass"
+	// degraded mirrors the artifact's degraded marker so the queue can
+	// tag the job with ErrorKind "degraded" (the body carries the full
+	// detail; this drives the X-Degraded header and job snapshots).
+	degraded bool
 }
+
+// DegradedResult implements the queue's DegradedResult interface.
+func (r *jobResult) DegradedResult() bool { return r.degraded }
 
 func (r *jobResult) cacheHeader() string {
 	switch r.source {
@@ -173,6 +195,16 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeErrKind is writeErr plus the machine-readable error_kind field
+// ("not_found", "panic", "timeout", "canceled", "degraded", "error") so
+// clients can branch on failure class without parsing prose.
+func writeErrKind(w http.ResponseWriter, code int, kind, format string, args ...any) {
+	writeJSON(w, code, map[string]string{
+		"error":      fmt.Sprintf(format, args...),
+		"error_kind": kind,
+	})
 }
 
 // decodeJSON decodes a bounded request body into v. It returns false
@@ -236,20 +268,32 @@ func (s *Server) await(w http.ResponseWriter, r *http.Request, j *Job) {
 		<-j.Done()
 	}
 	res, errMsg := j.Result()
+	kind := j.ErrorKind()
 	switch j.State() {
 	case JobDone:
 		jr := res.(*jobResult)
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Job-Id", j.ID)
 		w.Header().Set("X-Cache", jr.cacheHeader())
+		if jr.degraded {
+			// Deadline pressure forced a cheaper engine; the body carries
+			// degraded:true and the header lets clients spot it without
+			// parsing. Still a 200: the result is usable.
+			w.Header().Set("X-Degraded", "true")
+		}
 		w.WriteHeader(http.StatusOK)
 		w.Write(jr.body)
 	case JobCanceled:
 		w.Header().Set("X-Job-Id", j.ID)
-		writeErr(w, http.StatusGatewayTimeout, "job %s canceled: %s", j.ID, errMsg)
+		writeErrKind(w, http.StatusGatewayTimeout, kind, "job %s canceled: %s", j.ID, errMsg)
 	default:
+		code := http.StatusUnprocessableEntity
+		if kind == ErrKindPanic {
+			// A panic is the server's bug, not the request's fault.
+			code = http.StatusInternalServerError
+		}
 		w.Header().Set("X-Job-Id", j.ID)
-		writeErr(w, http.StatusUnprocessableEntity, "job %s failed: %s", j.ID, errMsg)
+		writeErrKind(w, code, kind, "job %s failed: %s", j.ID, errMsg)
 	}
 }
 
@@ -344,10 +388,11 @@ func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 	rid := obs.RequestIDFromContext(r.Context())
 	jtr := s.newJobTracer()
 	opts := core.Options{
-		Engine:       engine,
-		CellSim:      req.CellSim,
-		GroundSolver: solver,
-		Tracer:       jtr,
+		Engine:        engine,
+		CellSim:       req.CellSim,
+		GroundSolver:  solver,
+		Tracer:        jtr,
+		DegradeMargin: s.cfg.DegradeMargin,
 	}
 	opts.Exact.MaxArea = req.MaxArea
 	opts.Exact.ConflictBudget = req.ConflictBudget
@@ -369,7 +414,7 @@ func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		return &jobResult{body: append(body, '\n'), source: source}, nil
+		return &jobResult{body: append(body, '\n'), source: source, degraded: art.Degraded}, nil
 	}
 	j, ok := s.submit(w, "flow", req.TimeoutMS, fn)
 	if !ok {
@@ -414,6 +459,9 @@ type simulateResponse struct {
 	Dots     int     `json:"dots"`
 	FreeDots int     `json:"free_dots"`
 	EnergyEV float64 `json:"energy_ev"`
+	// Degraded reports that the deadline forced a cheaper engine than
+	// requested; the result is best-effort, not provably minimal.
+	Degraded bool `json:"degraded,omitempty"`
 	// Charges[i] is 1 when dot i (request order) is DB- in the ground
 	// state.
 	Charges []int `json:"charges"`
@@ -483,7 +531,11 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	cached := &cache.CachedSolver{Inner: inner, Cache: s.lru, Tracer: s.tr}
+	// Cache outside the ladder: warm hits skip the degradation logic
+	// entirely, and the cache layer refuses to store degraded solutions,
+	// so cached entries are always full-quality.
+	degrading := &sim.Degrading{Inner: inner, Margin: s.cfg.DegradeMargin, Tracer: s.tr}
+	cached := &cache.CachedSolver{Inner: degrading, Cache: s.lru, Tracer: s.tr}
 
 	rid := obs.RequestIDFromContext(r.Context())
 	jtr := s.newJobTracer()
@@ -508,6 +560,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			Dots:     eng.NumDots(),
 			FreeDots: len(eng.FreeIndices()),
 			EnergyEV: sol.EnergyEV,
+			Degraded: sol.Degraded,
 			Charges:  make([]int, len(sol.Charges)),
 		}
 		for i, c := range sol.Charges {
@@ -523,7 +576,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		if hit {
 			source = "hit"
 		}
-		return &jobResult{body: append(body, '\n'), source: source}, nil
+		return &jobResult{body: append(body, '\n'), source: source, degraded: sol.Degraded}, nil
 	}
 	j, ok := s.submit(w, "simulate", req.TimeoutMS, fn)
 	if !ok {
@@ -629,7 +682,7 @@ func (s *Server) handleGates(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.queue.Get(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, "no such job")
+		writeErrKind(w, http.StatusNotFound, ErrKindNotFound, "no such job")
 		return
 	}
 	st := j.Snapshot()
@@ -646,7 +699,7 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.queue.Get(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, "no such job")
+		writeErrKind(w, http.StatusNotFound, ErrKindNotFound, "no such job")
 		return
 	}
 	j.Cancel()
@@ -660,12 +713,12 @@ func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.queue.Get(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, "no such job")
+		writeErrKind(w, http.StatusNotFound, ErrKindNotFound, "no such job")
 		return
 	}
 	jtr := j.Tracer()
 	if jtr == nil {
-		writeErr(w, http.StatusNotFound, "no trace recorded for job %s", j.ID)
+		writeErrKind(w, http.StatusNotFound, ErrKindNotFound, "no trace recorded for job %s", j.ID)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -747,27 +800,36 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // metricHelp maps sanitized Prometheus family names to their HELP text.
 var metricHelp = map[string]string{
-	"http_requests_total":           "HTTP requests by method, normalized route, and status code.",
-	"http_request_duration_seconds": "HTTP request latency in seconds by normalized route.",
-	"http_in_flight_requests":       "Requests currently being served.",
-	"queue_submitted":               "Jobs accepted into the queue.",
-	"queue_completed":               "Jobs that finished successfully.",
-	"queue_failed":                  "Jobs that finished with an error.",
-	"queue_canceled":                "Jobs canceled or timed out.",
-	"queue_rejected":                "Jobs rejected with 429 because the queue was full.",
-	"queue_depth":                   "Queued-but-not-running jobs (sampled at enqueue/dequeue).",
-	"queue_depth_now":               "Queued-but-not-running jobs at scrape time.",
-	"queue_running":                 "Jobs currently executing on the worker pool.",
-	"queue_wait_seconds":            "Time jobs spent queued before a worker picked them up.",
-	"job_duration_seconds":          "Job execution time by kind (flow, simulate, validate).",
-	"flow_stage_seconds":            "Per-stage latency aggregated across jobs (rewrite, pnr, verify, cellsim, simulate, ...).",
-	"sim_solve_seconds":             "Ground-state solve latency by solver backend (cache misses only).",
-	"cache_mem_hits":                "In-memory result cache hits.",
-	"cache_mem_misses":              "In-memory result cache misses.",
-	"cache_mem_evictions":           "In-memory result cache evictions.",
-	"cache_mem_bytes":               "Bytes held by the in-memory result cache.",
-	"cache_mem_entries":             "Entries held by the in-memory result cache.",
-	"cache_mem_hit_rate":            "Lifetime hit rate of the in-memory result cache.",
+	"http_requests_total":             "HTTP requests by method, normalized route, and status code.",
+	"http_request_duration_seconds":   "HTTP request latency in seconds by normalized route.",
+	"http_in_flight_requests":         "Requests currently being served.",
+	"queue_submitted":                 "Jobs accepted into the queue.",
+	"queue_completed":                 "Jobs that finished successfully.",
+	"queue_failed":                    "Jobs that finished with an error.",
+	"queue_canceled":                  "Jobs canceled or timed out.",
+	"queue_rejected":                  "Jobs rejected with 429 because the queue was full.",
+	"queue_depth":                     "Queued-but-not-running jobs (sampled at enqueue/dequeue).",
+	"queue_depth_now":                 "Queued-but-not-running jobs at scrape time.",
+	"queue_running":                   "Jobs currently executing on the worker pool.",
+	"queue_wait_seconds":              "Time jobs spent queued before a worker picked them up.",
+	"job_duration_seconds":            "Job execution time by kind (flow, simulate, validate).",
+	"flow_stage_seconds":              "Per-stage latency aggregated across jobs (rewrite, pnr, verify, cellsim, simulate, ...).",
+	"sim_solve_seconds":               "Ground-state solve latency by solver backend (cache misses only).",
+	"cache_mem_hits":                  "In-memory result cache hits.",
+	"cache_mem_misses":                "In-memory result cache misses.",
+	"cache_mem_evictions":             "In-memory result cache evictions.",
+	"cache_mem_bytes":                 "Bytes held by the in-memory result cache.",
+	"cache_mem_entries":               "Entries held by the in-memory result cache.",
+	"cache_mem_hit_rate":              "Lifetime hit rate of the in-memory result cache.",
+	"jobs_panicked_total":             "Jobs whose function panicked; the worker recovered and recorded the job as failed.",
+	"sim_degraded_total":              "Ground-state solves degraded to a cheaper engine by deadline pressure, by from/to.",
+	"flow_degraded_total":             "Flow runs whose physical design degraded to the ortho router under deadline pressure.",
+	"cache_disk_breaker_state":        "Disk-cache circuit breaker state: 0 closed, 1 half-open, 2 open (memory-only).",
+	"cache_disk_breaker_trips_total":  "Times the disk-cache breaker tripped open.",
+	"cache_disk_retries_total":        "Disk-cache operations retried after a transient failure.",
+	"cache_disk_io_errors_total":      "Disk-cache I/O failures (each attempt, before retry).",
+	"cache_disk_short_circuits_total": "Disk-cache operations skipped because the breaker was open.",
+	"faults_armed":                    "1 when the fault-injection registry is armed (chaos testing), else absent.",
 }
 
 // handleMetrics renders every tracer metric in the Prometheus text

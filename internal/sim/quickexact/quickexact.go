@@ -49,9 +49,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/sim"
 )
+
+// panicBox gives every recovered shard panic the same concrete type, so
+// racing atomic.Value.CompareAndSwap calls never see mismatched types.
+type panicBox struct{ v any }
 
 const (
 	// stabEps matches sim.PopulationStable's tolerance: stability prunes
@@ -297,7 +302,7 @@ func GroundState(e *sim.Engine, opts Options) ([]bool, float64, Stats, error) {
 	depth := opts.ShardDepth
 	if depth <= 0 {
 		depth = 0
-		for (1 << depth) < 4*workers && depth < 12 {
+		for (1<<depth) < 4*workers && depth < 12 {
 			depth++
 		}
 	}
@@ -337,6 +342,7 @@ func GroundState(e *sim.Engine, opts Options) ([]bool, float64, Stats, error) {
 	shardSeconds := opts.Tracer.Histogram("sim/quickexact/shard_seconds", 0.0001, 0.001, 0.01, 0.1, 1, 10)
 	st.WorkerSeconds = make([]float64, workers)
 
+	var shardPanic atomic.Value // first recovered shard panic, if any
 	if len(tasks) > 0 {
 		next := make(chan int)
 		var wg sync.WaitGroup
@@ -345,6 +351,18 @@ func GroundState(e *sim.Engine, opts Options) ([]bool, float64, Stats, error) {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						shardPanic.CompareAndSwap(nil, panicBox{r})
+						// Drain so the feeder's send below can never block
+						// forever on a channel with no readers left.
+						for range next {
+						}
+					}
+				}()
+				if faults.Should("quickexact.shard.panic") {
+					panic("injected fault: quickexact.shard.panic")
+				}
 				busy := time.Now()
 				s := newSearcher(nu, ons, WU, eBase, &best, budget)
 				s.ctx = ctx
@@ -387,6 +405,13 @@ func GroundState(e *sim.Engine, opts Options) ([]bool, float64, Stats, error) {
 	}
 	if pruneEvents > 0 {
 		st.MeanFrontierDepth = float64(pruneDepthSum) / float64(pruneEvents)
+	}
+	if r := shardPanic.Load(); r != nil {
+		// A shard panic poisons the merge (its results are missing), so the
+		// whole solve fails as an error the dispatch layer can degrade on;
+		// the worker pool itself survived.
+		emit(opts.Tracer, &st)
+		return nil, 0, st, fmt.Errorf("quickexact: shard worker panicked: %v", r.(panicBox).v)
 	}
 
 	if ctx != nil {

@@ -19,6 +19,10 @@ type Solution struct {
 	Solver string
 	// Exact reports whether the energy is provably minimal.
 	Exact bool
+	// Degraded reports that the requested backend could not finish within
+	// its budget and a cheaper engine produced this solution instead (see
+	// Degrading). Degraded solutions are never cached.
+	Degraded bool
 }
 
 // SolveOptions carries per-call settings into a solver. The tracer is used

@@ -1,0 +1,321 @@
+// Command chaos-smoke is the fault-tolerance acceptance test for the
+// bestagond daemon: it boots the real binary with the fault-injection
+// registry armed (worker panics, disk-cache I/O failures, and solver
+// deadline pressure all firing at 20%) and proves the service degrades
+// instead of dying:
+//
+//   - the process never exits during a 200-request storm,
+//   - /healthz answers 200 throughout,
+//   - warm cached responses stay byte-identical to their cold originals
+//     (degraded results must never be cached),
+//   - panics surface as 500s with error_kind "panic" while the worker
+//     pool keeps serving,
+//   - /metrics exposes jobs_panicked_total, sim_degraded_total, and the
+//     disk breaker gauges with nonzero panic/degrade counts,
+//   - SIGTERM still drains and exits cleanly.
+//
+// Run from the repository root:
+//
+//	go run ./scripts/chaos-smoke
+//	CHAOS_RACE=1 go run ./scripts/chaos-smoke   # daemon built with -race
+//	make chaos-smoke
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// faultSpec arms every fault class the PR's failure model covers at 20%.
+const faultSpec = "service.job.panic=p:0.2;cache.disk.read=p:0.2;cache.disk.write=p:0.2;sim.solve.exact=p:0.2"
+
+const storm = 200
+
+var base string
+
+func main() {
+	tmp, err := os.MkdirTemp("", "chaos-smoke-*")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+
+	bin := filepath.Join(tmp, "bestagond")
+	args := []string{"build", "-o", bin}
+	if os.Getenv("CHAOS_RACE") == "1" {
+		args = append(args, "-race")
+	}
+	step("building bestagond")
+	build := exec.Command("go", append(args, "./cmd/bestagond")...)
+	build.Stdout, build.Stderr = os.Stderr, os.Stderr
+	if err := build.Run(); err != nil {
+		fatal(fmt.Errorf("build: %w", err))
+	}
+
+	addr := freeAddr()
+	base = "http://" + addr
+	step("starting daemon with faults armed: " + faultSpec)
+	daemon := exec.Command(bin,
+		"-addr", addr,
+		"-workers", "2",
+		"-cache-dir", filepath.Join(tmp, "cache"),
+		"-faults", faultSpec,
+		"-faults-seed", "7",
+		"-max-retries", "2",
+		"-degrade-margin", "250ms",
+		"-log-level", "warn",
+	)
+	daemon.Stdout, daemon.Stderr = os.Stderr, os.Stderr
+	if err := daemon.Start(); err != nil {
+		fatal(err)
+	}
+	defer daemon.Process.Kill()
+	exited := make(chan error, 1)
+	go func() { exited <- daemon.Wait() }()
+	alive := func(when string) {
+		select {
+		case err := <-exited:
+			fatal(fmt.Errorf("daemon exited %s: %v", when, err))
+		default:
+		}
+	}
+
+	waitHealthy(30 * time.Second)
+
+	step("priming canonical requests (cold pass under faults)")
+	var gates struct {
+		Gates []string `json:"gates"`
+	}
+	mustGet("/v1/gates", &gates)
+	if len(gates.Gates) == 0 {
+		fatal(fmt.Errorf("empty gate library"))
+	}
+	canonical := []struct {
+		path string
+		req  map[string]any
+		cold []byte
+		hits int
+	}{
+		{path: "/v1/simulate", req: map[string]any{"gate": gates.Gates[0]}},
+		{path: "/v1/gates/validate", req: map[string]any{"gate": gates.Gates[0]}},
+		{path: "/v1/flow", req: map[string]any{"bench": "xor2", "engine": "ortho"}},
+	}
+	for i := range canonical {
+		c := &canonical[i]
+		// Injected panics (500) and degrades can hit the cold pass too;
+		// retry until a clean, cacheable 200 comes back.
+		for attempt := 0; ; attempt++ {
+			if attempt > 50 {
+				fatal(fmt.Errorf("%s: no clean cold response in %d attempts", c.path, attempt))
+			}
+			code, hdr, body := post(c.path, c.req)
+			if code == http.StatusOK && hdr.Get("X-Degraded") == "" {
+				c.cold = body
+				break
+			}
+		}
+	}
+
+	step(fmt.Sprintf("request storm: %d mixed requests with panics, disk faults, and deadline pressure", storm))
+	var codes = map[int]int{}
+	var degraded, cacheHits int
+	for i := 0; i < storm; i++ {
+		alive(fmt.Sprintf("mid-storm (request %d)", i))
+		var code int
+		var hdr http.Header
+		var body []byte
+		switch i % 5 {
+		case 0, 1, 2: // canonical requests keep probing cache identity
+			c := &canonical[i%3]
+			code, hdr, body = post(c.path, c.req)
+			if code == http.StatusOK && hdr.Get("X-Cache") == "hit" {
+				c.hits++
+				cacheHits++
+				if hdr.Get("X-Degraded") != "" {
+					fatal(fmt.Errorf("%s: a degraded response was served from cache", c.path))
+				}
+				if !bytes.Equal(body, c.cold) {
+					fatal(fmt.Errorf("%s: warm response differs from cold original\ncold: %s\nwarm: %s", c.path, c.cold, body))
+				}
+			}
+		case 3: // fresh simulate: deadline-pressure fault can degrade it
+			code, hdr, body = post("/v1/simulate", map[string]any{
+				"gate": gates.Gates[i%len(gates.Gates)],
+			})
+			if hdr.Get("X-Degraded") == "true" {
+				degraded++
+				if hdr.Get("X-Cache") == "hit" {
+					fatal(fmt.Errorf("degraded simulate served from cache"))
+				}
+			}
+		default: // timeout storm: 1ms deadlines force the canceled path
+			code, _, body = post("/v1/flow", map[string]any{
+				"bench": "mux21", "engine": "ortho", "timeout_ms": 1, "nocache": true,
+			})
+		}
+		codes[code]++
+		switch code {
+		case http.StatusOK, http.StatusTooManyRequests, http.StatusGatewayTimeout:
+		case http.StatusInternalServerError, http.StatusUnprocessableEntity:
+			// Injected panics and fault errors; the body must carry the
+			// machine-readable kind.
+			var e struct {
+				Kind string `json:"error_kind"`
+			}
+			if err := json.Unmarshal(body, &e); err != nil || e.Kind == "" {
+				fatal(fmt.Errorf("error response without error_kind: %d %s", code, body))
+			}
+		default:
+			fatal(fmt.Errorf("unexpected status %d: %s", code, body))
+		}
+		if i%20 == 0 {
+			if code := getCode("/healthz"); code != http.StatusOK {
+				fatal(fmt.Errorf("healthz = %d mid-storm; daemon must stay live", code))
+			}
+		}
+	}
+	alive("after the storm")
+	if code := getCode("/healthz"); code != http.StatusOK {
+		fatal(fmt.Errorf("healthz = %d after the storm", code))
+	}
+	for _, c := range canonical {
+		if c.hits == 0 {
+			fatal(fmt.Errorf("%s: storm never observed a cache hit; byte-identity was not exercised", c.path))
+		}
+	}
+	fmt.Printf("chaos-smoke: status codes %v, cache hits %d, degraded %d\n", codes, cacheHits, degraded)
+
+	step("metrics: panic, degrade, and breaker series")
+	metrics := rawGet("/metrics")
+	for _, want := range []string{
+		"jobs_panicked_total",
+		"sim_degraded_total",
+		"cache_disk_breaker_state",
+		"cache_disk_io_errors_total",
+		"faults_armed 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			fatal(fmt.Errorf("metrics missing %q", want))
+		}
+	}
+	if v := metricValue(metrics, "jobs_panicked_total"); v <= 0 {
+		fatal(fmt.Errorf("jobs_panicked_total = %v; the panic fault never fired", v))
+	}
+	if !strings.Contains(metrics, `sim_degraded_total{`) {
+		fatal(fmt.Errorf("no labeled sim_degraded_total series"))
+	}
+
+	step("SIGTERM: graceful drain and clean exit under faults")
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		fatal(err)
+	}
+	select {
+	case err := <-exited:
+		if err != nil {
+			fatal(fmt.Errorf("daemon exit: %w", err))
+		}
+	case <-time.After(30 * time.Second):
+		fatal(fmt.Errorf("daemon did not exit within 30s of SIGTERM"))
+	}
+
+	fmt.Println("chaos-smoke: PASS")
+}
+
+func freeAddr() string {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func waitHealthy(timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if getCode("/healthz") == http.StatusOK {
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	fatal(fmt.Errorf("daemon never became healthy"))
+}
+
+func getCode(path string) int {
+	resp, err := http.Get(base + path)
+	if err != nil {
+		return 0
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func rawGet(path string) string {
+	resp, err := http.Get(base + path)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return string(b)
+}
+
+func mustGet(path string, v any) {
+	resp, err := http.Get(base + path)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("GET %s: status %d", path, resp.StatusCode))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		fatal(fmt.Errorf("GET %s: %w", path, err))
+	}
+}
+
+func post(path string, payload any) (int, http.Header, []byte) {
+	b, _ := json.Marshal(payload)
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		fatal(fmt.Errorf("POST %s: %w (daemon gone?)", path, err))
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, resp.Header, body
+}
+
+// metricValue extracts the sample of the first series whose name starts
+// with name (labels allowed), or -1 when absent.
+func metricValue(exposition, name string) float64 {
+	for _, line := range strings.Split(exposition, "\n") {
+		if !strings.HasPrefix(line, name) || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var v float64
+		if i := strings.LastIndexByte(line, ' '); i >= 0 {
+			fmt.Sscanf(line[i+1:], "%g", &v)
+			return v
+		}
+	}
+	return -1
+}
+
+func step(msg string) { fmt.Println("chaos-smoke:", msg) }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chaos-smoke: FAIL:", err)
+	os.Exit(1)
+}
