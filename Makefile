@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race bench bench-sim bench-cache bench-service table1 serve serve-smoke chaos-smoke clean
+.PHONY: all build test check race bench bench-sim bench-cache bench-service bench-pnr bench-engines table1 serve serve-smoke chaos-smoke clean
 
 all: build
 
@@ -48,6 +48,19 @@ bench-cache:
 # cold/warm workload from concurrent clients. Writes BENCH_service.json.
 bench-service:
 	$(GO) run ./cmd/benchserve
+
+# bench-pnr records the exact P&R engine's per-aspect-ratio SAT solve
+# times (grid dims, SAT/UNSAT, conflicts/propagations/restarts) across the
+# benchmark netlists. Writes BENCH_pnr.json. Narrow with e.g.
+# BENCHPNR_FLAGS="-benches xor2,mux21 -timeout 60s".
+bench-pnr:
+	$(GO) run ./cmd/benchpnr $(BENCHPNR_FLAGS)
+
+# bench-engines validates every library gate tile with each ground-state
+# backend (exgs, quickexact, anneal) and records accuracy vs time per
+# engine. Writes BENCH_engines.json. Reduce with BENCHENGINES_FLAGS="-limit 6".
+bench-engines:
+	$(GO) run ./cmd/benchengines $(BENCHENGINES_FLAGS)
 
 table1:
 	$(GO) run ./cmd/table1

@@ -1,0 +1,150 @@
+// Command benchengines runs the ground-state engine bake-off: every
+// library gate tile is validated against its truth table with each solver
+// backend (exhaustive ExGS, pruned-exact QuickExact, simulated annealing),
+// and BENCH_engines.json records accuracy versus time per engine — which
+// backends get every tile right, which merely get them fast. Annealing is
+// expected to be near-exact on library-sized tiles but carries no proof;
+// the exact engines differ only in time.
+//
+//	go run ./cmd/benchengines
+//	make bench-engines
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/gatelib"
+	"repro/internal/sim"
+
+	// Register the pruned exact ground-state backend.
+	_ "repro/internal/sim/quickexact"
+)
+
+// tileRow is one engine x gate validation.
+type tileRow struct {
+	Engine   string  `json:"engine"`
+	Gate     string  `json:"gate"`
+	OK       bool    `json:"ok"`
+	Method   string  `json:"method"`
+	Dots     int     `json:"dots"`
+	FreeDots int     `json:"free_dots"`
+	MinGapEV float64 `json:"min_gap_ev,omitempty"`
+	Seconds  float64 `json:"seconds"`
+	Error    string  `json:"error,omitempty"`
+}
+
+// engineSummary is the accuracy-vs-time roll-up per backend.
+type engineSummary struct {
+	Engine       string  `json:"engine"`
+	Tiles        int     `json:"tiles"`
+	OKCount      int     `json:"ok_count"`
+	Accuracy     float64 `json:"accuracy"`
+	ExactShare   float64 `json:"exact_share"`
+	TotalSeconds float64 `json:"total_seconds"`
+	MeanSeconds  float64 `json:"mean_seconds"`
+}
+
+type report struct {
+	Engines []engineSummary `json:"engines"`
+	Tiles   []tileRow       `json:"tiles"`
+}
+
+func main() {
+	var (
+		out     = flag.String("o", "BENCH_engines.json", "output report file")
+		solvers = flag.String("solvers", "exgs,quickexact,anneal", "comma-separated solver backends")
+		gates   = flag.String("gates", "", "comma-separated gate variant keys (default: whole library)")
+		limit   = flag.Int("limit", 0, "validate only the first N gates (0 = all; CI uses a reduced set)")
+	)
+	flag.Parse()
+
+	lib := gatelib.NewLibrary()
+	keys := lib.Variants()
+	sort.Strings(keys)
+	if *gates != "" {
+		keys = strings.Split(*gates, ",")
+	}
+	if *limit > 0 && *limit < len(keys) {
+		fmt.Fprintf(os.Stderr, "benchengines: limiting to first %d of %d gates\n", *limit, len(keys))
+		keys = keys[:*limit]
+	}
+
+	var rep report
+	failedEngines := 0
+	for _, engine := range strings.Split(*solvers, ",") {
+		engine = strings.TrimSpace(engine)
+		sum := engineSummary{Engine: engine}
+		exactCount := 0
+		for _, key := range keys {
+			row := runTile(lib, engine, key)
+			sum.Tiles++
+			sum.TotalSeconds += row.Seconds
+			if row.OK {
+				sum.OKCount++
+			}
+			if row.Method == "exgs" || row.Method == "quickexact" {
+				exactCount++
+			}
+			rep.Tiles = append(rep.Tiles, row)
+		}
+		if sum.Tiles > 0 {
+			sum.Accuracy = float64(sum.OKCount) / float64(sum.Tiles)
+			sum.ExactShare = float64(exactCount) / float64(sum.Tiles)
+			sum.MeanSeconds = sum.TotalSeconds / float64(sum.Tiles)
+		}
+		if sum.OKCount == 0 {
+			failedEngines++
+		}
+		fmt.Printf("benchengines: %-10s %d/%d tiles ok (%.0f%% exact) in %.2fs (mean %.1fms)\n",
+			engine, sum.OKCount, sum.Tiles, 100*sum.ExactShare, sum.TotalSeconds, 1e3*sum.MeanSeconds)
+		rep.Engines = append(rep.Engines, sum)
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchengines: wrote %s (%d engines x %d gates)\n", *out, len(rep.Engines), len(keys))
+	if failedEngines == len(rep.Engines) {
+		os.Exit(1) // no engine validated anything: broken, not just inaccurate
+	}
+}
+
+func runTile(lib *gatelib.Library, engine, key string) tileRow {
+	row := tileRow{Engine: engine, Gate: key}
+	d, f, ok := lib.Design(key)
+	if !ok {
+		row.Error = fmt.Sprintf("unknown gate %q", key)
+		return row
+	}
+	eng := sim.NewEngine(d.Layout(0, 0), sim.ParamsFig5)
+	row.Dots = eng.NumDots()
+	row.FreeDots = len(eng.FreeIndices())
+
+	start := time.Now()
+	v, err := gatelib.ValidateWith(d, gatelib.TruthOf(f), sim.ParamsFig5,
+		gatelib.ValidateOptions{Solver: engine})
+	row.Seconds = time.Since(start).Seconds()
+	if err != nil {
+		row.Error = err.Error()
+		return row
+	}
+	row.OK = v.OK
+	row.Method = v.Method
+	row.MinGapEV = v.MinGapEV
+	return row
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchengines:", err)
+	os.Exit(1)
+}

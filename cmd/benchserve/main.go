@@ -41,18 +41,24 @@ type latencyStats struct {
 }
 
 type benchReport struct {
-	Clients           int          `json:"clients"`
-	WallSeconds       float64      `json:"wall_seconds"`
-	ThroughputRPS     float64      `json:"throughput_rps"`
-	Cold              latencyStats `json:"cold"`
-	Warm              latencyStats `json:"warm"`
-	CacheHits         int          `json:"cache_hits"`
-	CacheMisses       int          `json:"cache_misses"`
-	ClientHitRate     float64      `json:"client_hit_rate"`
-	ServerHitRate     float64      `json:"server_hit_rate"`
-	WarmColdSpeedup   float64      `json:"warm_cold_speedup"`
-	MetricsScrapeOK   bool         `json:"metrics_scrape_ok"`
-	MetricsScrapeByte int          `json:"metrics_scrape_bytes"`
+	Clients       int          `json:"clients"`
+	WallSeconds   float64      `json:"wall_seconds"`
+	ThroughputRPS float64      `json:"throughput_rps"`
+	Cold          latencyStats `json:"cold"`
+	Warm          latencyStats `json:"warm"`
+	CacheHits     int          `json:"cache_hits"`
+	CacheMisses   int          `json:"cache_misses"`
+	ClientHitRate float64      `json:"client_hit_rate"`
+	// DegradedResponses counts 200s carrying X-Degraded: true — results the
+	// deadline ladder produced with a cheaper engine. A healthy benchmark
+	// run has zero; a loaded or mistuned one shows quality erosion here
+	// before latency percentiles give it away.
+	DegradedResponses int     `json:"degraded_responses"`
+	DegradedRate      float64 `json:"degraded_rate"`
+	ServerHitRate     float64 `json:"server_hit_rate"`
+	WarmColdSpeedup   float64 `json:"warm_cold_speedup"`
+	MetricsScrapeOK   bool    `json:"metrics_scrape_ok"`
+	MetricsScrapeByte int     `json:"metrics_scrape_bytes"`
 }
 
 var base string
@@ -86,11 +92,15 @@ func main() {
 	// Cold phase: one sequential pass over every gate on both endpoints
 	// populates the cache and measures uncached solve latency.
 	var coldMS []float64
+	var degraded int
 	for _, path := range []string{"/v1/simulate", "/v1/gates/validate"} {
 		for _, g := range gates {
-			ms, _, err := timedPost(path, map[string]any{"gate": g})
+			ms, _, deg, err := timedPost(path, map[string]any{"gate": g})
 			if err != nil {
 				fatal(fmt.Errorf("cold %s %s: %w", path, g, err))
+			}
+			if deg {
+				degraded++
 			}
 			coldMS = append(coldMS, ms)
 		}
@@ -114,7 +124,7 @@ func main() {
 					if (c+r+i)%3 == 0 {
 						path = "/v1/gates/validate"
 					}
-					ms, hit, err := timedPost(path, map[string]any{"gate": g})
+					ms, hit, deg, err := timedPost(path, map[string]any{"gate": g})
 					mu.Lock()
 					if err != nil {
 						errs++
@@ -124,6 +134,9 @@ func main() {
 							hits++
 						} else {
 							misses++
+						}
+						if deg {
+							degraded++
 						}
 					}
 					mu.Unlock()
@@ -142,6 +155,10 @@ func main() {
 	}
 	if rep.Warm.MeanMS > 0 {
 		rep.WarmColdSpeedup = rep.Cold.MeanMS / rep.Warm.MeanMS
+	}
+	rep.DegradedResponses = degraded
+	if total := rep.Cold.Requests + rep.Warm.Requests; total > 0 {
+		rep.DegradedRate = float64(degraded) / float64(total)
 	}
 
 	// Validate the Prometheus endpoint while we are here: the scrape must
@@ -170,6 +187,10 @@ func main() {
 		rep.Warm.Requests, rep.Clients, rep.ThroughputRPS, rep.Warm.P50MS, rep.Warm.P90MS, rep.Warm.P99MS)
 	fmt.Printf("benchserve: cache hit rate %.0f%% (server %.0f%%), wrote %s\n",
 		100*rep.ClientHitRate, 100*rep.ServerHitRate, *out)
+	if rep.DegradedResponses > 0 {
+		fmt.Fprintf(os.Stderr, "benchserve: warning: %d degraded responses (%.1f%%)\n",
+			rep.DegradedResponses, 100*rep.DegradedRate)
+	}
 	if errs > 0 || !rep.MetricsScrapeOK {
 		fmt.Fprintf(os.Stderr, "benchserve: FAIL: %d request errors, metrics ok=%v\n", errs, rep.MetricsScrapeOK)
 		os.Exit(1)
@@ -298,24 +319,25 @@ func listGates() []string {
 	return out.Gates
 }
 
-// timedPost sends a JSON request and returns (elapsed ms, cache hit).
-func timedPost(path string, payload any) (float64, bool, error) {
+// timedPost sends a JSON request and returns (elapsed ms, cache hit,
+// degraded result).
+func timedPost(path string, payload any) (float64, bool, bool, error) {
 	b, err := json.Marshal(payload)
 	if err != nil {
-		return 0, false, err
+		return 0, false, false, err
 	}
 	start := time.Now()
 	resp, err := http.Post(base+path, "application/json", bytes.NewReader(b))
 	if err != nil {
-		return 0, false, err
+		return 0, false, false, err
 	}
 	defer resp.Body.Close()
 	body, _ := io.ReadAll(resp.Body)
 	elapsed := float64(time.Since(start)) / float64(time.Millisecond)
 	if resp.StatusCode != http.StatusOK {
-		return elapsed, false, fmt.Errorf("POST %s: status %d: %s", path, resp.StatusCode, bytes.TrimSpace(body))
+		return elapsed, false, false, fmt.Errorf("POST %s: status %d: %s", path, resp.StatusCode, bytes.TrimSpace(body))
 	}
-	return elapsed, resp.Header.Get("X-Cache") == "hit", nil
+	return elapsed, resp.Header.Get("X-Cache") == "hit", resp.Header.Get("X-Degraded") == "true", nil
 }
 
 func rawGet(path string) (string, error) {

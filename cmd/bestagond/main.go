@@ -24,7 +24,9 @@
 //	GET    /v1/jobs/{id}       job status (and result once done)
 //	GET    /v1/jobs/{id}/trace per-job stage timeline (spans + attributes)
 //	DELETE /v1/jobs/{id}       cancel a job
-//	GET    /healthz            liveness + latency/error snapshot
+//	GET    /v1/traces/{id}     retained flight-recorder trace by job id
+//	GET    /debug/flightrecorder  flight-recorder summary (retained trace headers)
+//	GET    /healthz            liveness + latency/error snapshot (incl. SLO burn rates)
 //	GET    /metrics            Prometheus text exposition
 //
 // On SIGINT/SIGTERM the listener stops accepting requests and in-flight
@@ -76,6 +78,8 @@ func main() {
 		faultSeed     = flag.Int64("faults-seed", 1, "seed for probabilistic fault triggers (deterministic replay)")
 		maxRetries    = flag.Int("max-retries", 2, "retries for transient disk-cache I/O failures (negative = none); repeated failures trip the breaker to memory-only caching")
 		degradeMargin = flag.Duration("degrade-margin", sim.DefaultDegradeMargin, "budget reserved for cheaper fallback engines under a job deadline (solver degradation ladder)")
+		sloShort      = flag.Duration("slo-short-window", 5*time.Minute, "short SLO burn-rate window")
+		sloLong       = flag.Duration("slo-long-window", time.Hour, "long SLO burn-rate window")
 	)
 	flag.Parse()
 
@@ -116,6 +120,7 @@ func main() {
 		MaxBodyBytes:  *maxBody << 20,
 		MaxRetries:    *maxRetries,
 		DegradeMargin: *degradeMargin,
+		SLOWindows:    []time.Duration{*sloShort, *sloLong},
 	})
 	if err != nil {
 		fatal(err)

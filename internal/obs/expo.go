@@ -248,6 +248,23 @@ type StageObserver struct {
 	Family string
 	// Bounds are the bucket bounds (nil = DefBuckets).
 	Bounds []float64
+	// Attrs additionally folds numeric span attributes into their own
+	// labeled histograms, turning per-job solver-depth annotations (SAT
+	// conflict counts, annealer acceptance rates, ...) into service-wide
+	// distributions without a second reporting path.
+	Attrs []AttrHistogram
+}
+
+// AttrHistogram tells a StageObserver to observe a numeric span
+// attribute into Family{stage="<span name>"} on the target tracer.
+// Spans without the attribute (or with a non-numeric value) are skipped.
+type AttrHistogram struct {
+	// Key is the span attribute to observe (e.g. "conflicts").
+	Key string
+	// Family is the histogram family (e.g. "sat_conflicts_per_solve").
+	Family string
+	// Bounds are the bucket bounds (nil = DefBuckets).
+	Bounds []float64
 }
 
 // SpanEnd implements Sink.
@@ -261,4 +278,39 @@ func (o *StageObserver) SpanEnd(s *Span) {
 	}
 	o.Tracer.Histogram(Labeled(o.Family, "stage", s.Name()), bounds...).
 		Observe(s.Duration().Seconds())
+	for _, ah := range o.Attrs {
+		v, ok := attrFloat(s.Attr(ah.Key))
+		if !ok {
+			continue
+		}
+		b := ah.Bounds
+		if b == nil {
+			b = DefBuckets
+		}
+		o.Tracer.Histogram(Labeled(ah.Family, "stage", s.Name()), b...).Observe(v)
+	}
+}
+
+// attrFloat coerces the numeric attribute types spans actually carry.
+func attrFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case float32:
+		return float64(x), true
+	case int:
+		return float64(x), true
+	case int32:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	case uint:
+		return float64(x), true
+	case uint32:
+		return float64(x), true
+	case uint64:
+		return float64(x), true
+	default:
+		return 0, false
+	}
 }

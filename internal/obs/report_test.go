@@ -1,0 +1,78 @@
+package obs
+
+import "testing"
+
+// TestParseReportSolverDepthRoundTrip builds a report carrying the
+// solver-depth attrs the exact P&R and simulation engines emit
+// (conflicts, propagations, acceptance rates, per-size solve times),
+// serializes it, and checks everything survives the JSON round trip.
+// JSON numbers decode as float64, so consumers must coerce — the test
+// pins that contract.
+func TestParseReportSolverDepthRoundTrip(t *testing.T) {
+	tr := New()
+	root := tr.Start("pnr/exact")
+	size := tr.Start("pnr/exact/size")
+	size.SetAttr("w", 3)
+	size.SetAttr("h", 9)
+	size.SetAttr("status", "sat")
+	size.SetAttr("conflicts", int64(1234))
+	size.SetAttr("propagations", int64(567890))
+	size.SetAttr("restarts", 7)
+	size.SetAttr("solve_seconds", 0.125)
+	size.End()
+	anneal := tr.Start("sim/anneal")
+	anneal.SetAttr("acceptance_rate", 0.4375)
+	anneal.End()
+	root.End()
+	tr.Counter("sat/conflicts").Add(1234)
+	tr.Counter("pnr/exact/sizes_pruned").Add(2)
+
+	data, err := tr.Report("roundtrip").JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	r, err := ParseReport(data)
+	if err != nil {
+		t.Fatalf("ParseReport: %v", err)
+	}
+	if r.Name != "roundtrip" {
+		t.Fatalf("Name = %q, want roundtrip", r.Name)
+	}
+
+	sz := r.Stage("pnr/exact/size")
+	if sz == nil {
+		t.Fatal("pnr/exact/size stage missing after round trip")
+	}
+	// Every numeric attr comes back as float64 regardless of how it was
+	// set (int, int64, float64).
+	for key, want := range map[string]float64{
+		"w": 3, "h": 9, "conflicts": 1234, "propagations": 567890,
+		"restarts": 7, "solve_seconds": 0.125,
+	} {
+		got, ok := sz.Attrs[key].(float64)
+		if !ok || got != want {
+			t.Errorf("attr %q = %v (%T), want float64 %v", key, sz.Attrs[key], sz.Attrs[key], want)
+		}
+	}
+	if got, ok := sz.Attrs["status"].(string); !ok || got != "sat" {
+		t.Errorf("attr status = %v, want \"sat\"", sz.Attrs["status"])
+	}
+
+	an := r.Stage("sim/anneal")
+	if an == nil {
+		t.Fatal("sim/anneal stage missing after round trip")
+	}
+	if got := an.Attrs["acceptance_rate"].(float64); got != 0.4375 {
+		t.Errorf("acceptance_rate = %v, want 0.4375", got)
+	}
+
+	if got := r.Counter("sat/conflicts"); got != 1234 {
+		t.Errorf("Counter(sat/conflicts) = %d, want 1234", got)
+	}
+	if got := r.Counter("pnr/exact/sizes_pruned"); got != 2 {
+		t.Errorf("Counter(pnr/exact/sizes_pruned) = %d, want 2", got)
+	}
+	if got := r.Counter("no/such/counter"); got != 0 {
+		t.Errorf("absent counter = %d, want 0", got)
+	}
+}

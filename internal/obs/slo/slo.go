@@ -1,0 +1,251 @@
+// Package slo implements declared service-level objectives with
+// multi-window error-budget burn rates. An Objective names a request
+// class (a route or cost class), a latency threshold, and an error
+// budget; every request observation is "good" or "bad" (an error, or
+// slower than the threshold). The engine keeps a time-bucketed ring per
+// configured window (by default 5m and 1h) and reports, per objective:
+//
+//	burn rate  = bad fraction in the window / error budget
+//	             (1.0 = consuming the budget exactly as fast as allowed;
+//	              20  = a 20% failure rate against a 1% budget)
+//	budget remaining = 1 - lifetime bad / (budget * lifetime total)
+//
+// The multi-window form is the standard burn-rate alerting setup: the
+// short window catches a fast burn (an incident) quickly, the long
+// window catches a slow leak without paging on blips.
+package slo
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Objective declares one SLO.
+type Objective struct {
+	// Name identifies the objective (a route or cost class: "flow", ...).
+	Name string
+	// Latency is the threshold above which a successful request still
+	// counts against the budget (0 disables the latency term).
+	Latency time.Duration
+	// Budget is the allowed bad fraction, e.g. 0.01 for a 99% objective
+	// (values <= 0 default to 0.01).
+	Budget float64
+}
+
+// bucketsPerWindow trades burn-rate granularity against memory: a 5m
+// window advances in 10s steps, a 1h window in 2m steps.
+const bucketsPerWindow = 30
+
+// bucket is one time slice of a window's event counts.
+type bucket struct {
+	start      int64 // unix nanos of the bucket's aligned start; 0 = empty
+	total, bad int64
+}
+
+// window is a ring of time buckets spanning one burn-rate window.
+type window struct {
+	dur       time.Duration
+	bucketDur time.Duration
+	buckets   [bucketsPerWindow]bucket
+}
+
+func newWindow(d time.Duration) *window {
+	bd := d / bucketsPerWindow
+	if bd <= 0 {
+		bd = time.Millisecond
+	}
+	return &window{dur: d, bucketDur: bd}
+}
+
+// observe counts one event into the bucket covering now, resetting the
+// slot if it holds a stale cycle.
+func (w *window) observe(now time.Time, bad bool) {
+	start := now.UnixNano() - now.UnixNano()%int64(w.bucketDur)
+	idx := (start / int64(w.bucketDur)) % bucketsPerWindow
+	b := &w.buckets[idx]
+	if b.start != start {
+		*b = bucket{start: start}
+	}
+	b.total++
+	if bad {
+		b.bad++
+	}
+}
+
+// sum totals the live (non-stale) buckets as of now.
+func (w *window) sum(now time.Time) (total, bad int64) {
+	oldest := now.Add(-w.dur).UnixNano()
+	for i := range w.buckets {
+		b := &w.buckets[i]
+		if b.start == 0 || b.start < oldest || b.start > now.UnixNano() {
+			continue
+		}
+		total += b.total
+		bad += b.bad
+	}
+	return total, bad
+}
+
+// state is one objective's live accounting.
+type state struct {
+	obj        Objective
+	wins       []*window
+	total, bad int64 // lifetime
+}
+
+// Engine evaluates a set of objectives over a set of burn-rate windows.
+// Safe for concurrent use. A nil *Engine is a valid no-op.
+type Engine struct {
+	// Now is the clock (defaults to time.Now); replace it before first
+	// use to drive tests deterministically.
+	Now func() time.Time
+
+	mu         sync.Mutex
+	windows    []time.Duration
+	objectives map[string]*state
+	order      []string
+}
+
+// New builds an engine for the given objectives and burn-rate windows
+// (no windows = the default 5m and 1h pair).
+func New(objectives []Objective, windows ...time.Duration) *Engine {
+	if len(windows) == 0 {
+		windows = []time.Duration{5 * time.Minute, time.Hour}
+	}
+	e := &Engine{
+		Now:        time.Now,
+		windows:    windows,
+		objectives: map[string]*state{},
+	}
+	for _, o := range objectives {
+		if o.Budget <= 0 {
+			o.Budget = 0.01
+		}
+		st := &state{obj: o}
+		for _, d := range windows {
+			st.wins = append(st.wins, newWindow(d))
+		}
+		e.objectives[o.Name] = st
+		e.order = append(e.order, o.Name)
+	}
+	return e
+}
+
+// Observe records one request outcome against the named objective.
+// Unknown names are ignored (the caller maps routes onto objectives).
+func (e *Engine) Observe(name string, seconds float64, isError bool) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.objectives[name]
+	if !ok {
+		return
+	}
+	bad := isError || (st.obj.Latency > 0 && seconds > st.obj.Latency.Seconds())
+	st.total++
+	if bad {
+		st.bad++
+	}
+	now := e.Now()
+	for _, w := range st.wins {
+		w.observe(now, bad)
+	}
+}
+
+// WindowBurn is one objective's burn state over one window.
+type WindowBurn struct {
+	Window      string  `json:"window"`
+	Total       int64   `json:"total"`
+	Bad         int64   `json:"bad"`
+	BadFraction float64 `json:"bad_fraction"`
+	BurnRate    float64 `json:"burn_rate"`
+}
+
+// Status is one objective's full snapshot.
+type Status struct {
+	Name            string       `json:"name"`
+	LatencyMS       float64      `json:"latency_ms,omitempty"`
+	Budget          float64      `json:"error_budget"`
+	Total           int64        `json:"total"`
+	Bad             int64        `json:"bad"`
+	BudgetRemaining float64      `json:"budget_remaining"`
+	Windows         []WindowBurn `json:"windows"`
+}
+
+// Snapshot returns every objective's status keyed by name.
+func (e *Engine) Snapshot() map[string]Status {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := e.Now()
+	out := make(map[string]Status, len(e.objectives))
+	for _, name := range e.order {
+		st := e.objectives[name]
+		s := Status{
+			Name:            name,
+			LatencyMS:       1e3 * st.obj.Latency.Seconds(),
+			Budget:          st.obj.Budget,
+			Total:           st.total,
+			Bad:             st.bad,
+			BudgetRemaining: budgetRemaining(st),
+		}
+		for _, w := range st.wins {
+			total, bad := w.sum(now)
+			wb := WindowBurn{Window: WindowLabel(w.dur), Total: total, Bad: bad}
+			if total > 0 {
+				wb.BadFraction = float64(bad) / float64(total)
+				wb.BurnRate = wb.BadFraction / st.obj.Budget
+			}
+			s.Windows = append(s.Windows, wb)
+		}
+		out[name] = s
+	}
+	return out
+}
+
+// budgetRemaining is the unconsumed lifetime budget fraction; it goes
+// negative once the objective is overspent (deliberately not clamped —
+// "-3.2 budgets burned" is the useful fact).
+func budgetRemaining(st *state) float64 {
+	if st.total == 0 {
+		return 1
+	}
+	return 1 - float64(st.bad)/(st.obj.Budget*float64(st.total))
+}
+
+// Export refreshes slo_burn_rate{slo,window} and
+// slo_budget_remaining{slo} gauges on the tracer (nil-safe), typically
+// right before a /metrics render.
+func (e *Engine) Export(tr *obs.Tracer) {
+	if e == nil || tr == nil {
+		return
+	}
+	for name, s := range e.Snapshot() {
+		for _, wb := range s.Windows {
+			tr.Gauge(obs.Labeled("slo/burn_rate", "slo", name, "window", wb.Window)).Set(wb.BurnRate)
+		}
+		tr.Gauge(obs.Labeled("slo/budget_remaining", "slo", name)).Set(s.BudgetRemaining)
+	}
+}
+
+// WindowLabel renders a window duration as a compact label value:
+// 5m0s -> "5m", 1h0m0s -> "1h", 3s -> "3s".
+func WindowLabel(d time.Duration) string {
+	switch {
+	case d >= time.Hour && d%time.Hour == 0:
+		return fmt.Sprintf("%dh", d/time.Hour)
+	case d >= time.Minute && d%time.Minute == 0:
+		return fmt.Sprintf("%dm", d/time.Minute)
+	case d >= time.Second && d%time.Second == 0:
+		return fmt.Sprintf("%ds", d/time.Second)
+	default:
+		return d.String()
+	}
+}

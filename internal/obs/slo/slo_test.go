@@ -1,0 +1,202 @@
+package slo
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// fakeClock installs a settable clock on the engine and returns the
+// setter; tests advance time explicitly instead of sleeping.
+func fakeClock(e *Engine) func(time.Time) {
+	var mu sync.Mutex
+	now := time.Unix(1700000000, 0)
+	e.Now = func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	return func(t time.Time) {
+		mu.Lock()
+		now = t
+		mu.Unlock()
+	}
+}
+
+func TestBurnRateUnderErrors(t *testing.T) {
+	e := New([]Objective{{Name: "flow", Latency: time.Second, Budget: 0.01}}, 5*time.Minute)
+	setNow := fakeClock(e)
+	base := time.Unix(1700000000, 0)
+	setNow(base)
+
+	// 20% errors against a 1% budget -> burn rate 20.
+	for i := 0; i < 100; i++ {
+		e.Observe("flow", 0.01, i%5 == 0)
+	}
+	s := e.Snapshot()["flow"]
+	if s.Total != 100 || s.Bad != 20 {
+		t.Fatalf("lifetime total/bad = %d/%d, want 100/20", s.Total, s.Bad)
+	}
+	if len(s.Windows) != 1 {
+		t.Fatalf("got %d windows, want 1", len(s.Windows))
+	}
+	wb := s.Windows[0]
+	if wb.Window != "5m" {
+		t.Fatalf("window label = %q, want 5m", wb.Window)
+	}
+	if wb.BurnRate != 20 {
+		t.Fatalf("burn rate = %v, want 20", wb.BurnRate)
+	}
+	// Lifetime budget: 20 bad vs allowance of 1 -> 19 budgets overspent.
+	if s.BudgetRemaining != -19 {
+		t.Fatalf("budget remaining = %v, want -19", s.BudgetRemaining)
+	}
+}
+
+func TestBurnDecaysPastWindow(t *testing.T) {
+	e := New([]Objective{{Name: "flow", Budget: 0.01}}, 5*time.Minute)
+	setNow := fakeClock(e)
+	base := time.Unix(1700000000, 0)
+	setNow(base)
+	for i := 0; i < 50; i++ {
+		e.Observe("flow", 0.01, true)
+	}
+	if burn := e.Snapshot()["flow"].Windows[0].BurnRate; burn != 100 {
+		t.Fatalf("burn during incident = %v, want 100", burn)
+	}
+	// Advance the clock past the window: the stale buckets must be
+	// skipped at query time without any further Observe calls.
+	setNow(base.Add(6 * time.Minute))
+	wb := e.Snapshot()["flow"].Windows[0]
+	if wb.Total != 0 || wb.BurnRate != 0 {
+		t.Fatalf("after idle window: total=%d burn=%v, want 0/0", wb.Total, wb.BurnRate)
+	}
+	// Lifetime accounting survives the decay.
+	if s := e.Snapshot()["flow"]; s.Bad != 50 {
+		t.Fatalf("lifetime bad = %d, want 50", s.Bad)
+	}
+}
+
+func TestLatencyThresholdCountsAsBad(t *testing.T) {
+	e := New([]Objective{{Name: "read", Latency: 250 * time.Millisecond, Budget: 0.1}}, time.Minute)
+	setNow := fakeClock(e)
+	setNow(time.Unix(1700000000, 0))
+	e.Observe("read", 0.2, false) // under threshold: good
+	e.Observe("read", 0.3, false) // over threshold: bad despite no error
+	e.Observe("read", 0.01, true) // error: bad despite fast
+	s := e.Snapshot()["read"]
+	if s.Bad != 2 {
+		t.Fatalf("bad = %d, want 2 (one slow + one error)", s.Bad)
+	}
+	if s.LatencyMS != 250 {
+		t.Fatalf("latency_ms = %v, want 250", s.LatencyMS)
+	}
+}
+
+func TestUnknownObjectiveIgnored(t *testing.T) {
+	e := New([]Objective{{Name: "flow"}})
+	e.Observe("nope", 1, true)
+	if s := e.Snapshot()["flow"]; s.Total != 0 {
+		t.Fatalf("unknown-name observation leaked into flow: %+v", s)
+	}
+	if _, ok := e.Snapshot()["nope"]; ok {
+		t.Fatal("unknown objective appeared in snapshot")
+	}
+}
+
+func TestDefaultsAndNilEngine(t *testing.T) {
+	e := New([]Objective{{Name: "x", Budget: -1}})
+	setNow := fakeClock(e)
+	setNow(time.Unix(1700000000, 0))
+	e.Observe("x", 0.01, true)
+	s := e.Snapshot()["x"]
+	if s.Budget != 0.01 {
+		t.Fatalf("defaulted budget = %v, want 0.01", s.Budget)
+	}
+	if len(s.Windows) != 2 || s.Windows[0].Window != "5m" || s.Windows[1].Window != "1h" {
+		t.Fatalf("default windows = %+v, want 5m and 1h", s.Windows)
+	}
+
+	var nilE *Engine
+	nilE.Observe("x", 1, true)
+	if snap := nilE.Snapshot(); snap != nil {
+		t.Fatal("nil engine Snapshot should be nil")
+	}
+	nilE.Export(obs.New()) // must not panic
+}
+
+func TestWindowLabel(t *testing.T) {
+	for _, c := range []struct {
+		d    time.Duration
+		want string
+	}{
+		{time.Hour, "1h"}, {5 * time.Minute, "5m"}, {3 * time.Second, "3s"},
+		{90 * time.Second, "90s"}, {1500 * time.Millisecond, "1.5s"},
+	} {
+		if got := WindowLabel(c.d); got != c.want {
+			t.Errorf("WindowLabel(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestExportGauges(t *testing.T) {
+	e := New([]Objective{{Name: "flow", Budget: 0.01}}, 5*time.Minute)
+	setNow := fakeClock(e)
+	setNow(time.Unix(1700000000, 0))
+	for i := 0; i < 10; i++ {
+		e.Observe("flow", 0.01, true)
+	}
+	tr := obs.New()
+	e.Export(tr)
+	var buf strings.Builder
+	if err := tr.WriteExposition(&buf, nil); err != nil {
+		t.Fatalf("WriteExposition: %v", err)
+	}
+	body := buf.String()
+	for _, want := range []string{
+		`slo_burn_rate{slo="flow",window="5m"} 100`,
+		`slo_budget_remaining{slo="flow"} -99`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q\n%s", want, body)
+		}
+	}
+}
+
+// TestEngineConcurrent drives observers and snapshotters in parallel;
+// run under -race it proves the locking.
+func TestEngineConcurrent(t *testing.T) {
+	e := New([]Objective{{Name: "flow", Budget: 0.01}, {Name: "read", Budget: 0.01}})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := "flow"
+			if g%2 == 0 {
+				name = "read"
+			}
+			for i := 0; i < 500; i++ {
+				e.Observe(name, 0.01, i%10 == 0)
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = e.Snapshot()
+				e.Export(obs.New())
+			}
+		}()
+	}
+	wg.Wait()
+	s := e.Snapshot()
+	if got := s["flow"].Total + s["read"].Total; got != 4000 {
+		t.Fatalf("total observations = %d, want 4000", got)
+	}
+}

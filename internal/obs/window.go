@@ -88,6 +88,37 @@ func (w *RollingWindow) Snapshot() WindowSnapshot {
 	return snap
 }
 
+// Quantile returns the nearest-rank latency quantile (0 < q <= 1) over
+// the window's current contents, 0 when empty. Unlike Snapshot it sorts
+// once for a single quantile, so callers that only need one threshold
+// (e.g. the flight recorder's slow-trace cutoff) avoid the full summary.
+func (w *RollingWindow) Quantile(q float64) float64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	lat := make([]float64, 0, w.size)
+	for i := 0; i < w.size; i++ {
+		lat = append(lat, w.buf[i].seconds)
+	}
+	w.mu.Unlock()
+	if len(lat) == 0 {
+		return 0
+	}
+	sort.Float64s(lat)
+	return percentile(lat, q)
+}
+
+// Len returns the number of observations currently held.
+func (w *RollingWindow) Len() int {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
 // percentile is the nearest-rank percentile of a sorted slice.
 func percentile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRollingWindowQuantile(t *testing.T) {
+	w := NewRollingWindow(256)
+	for i := 1; i <= 100; i++ {
+		w.Observe(float64(i), false)
+	}
+	if got := w.Len(); got != 100 {
+		t.Fatalf("Len = %d, want 100", got)
+	}
+	// Nearest rank over 1..100: ceil(q*100).
+	for _, c := range []struct{ q, want float64 }{
+		{0.50, 50}, {0.90, 90}, {0.99, 99}, {1.0, 100}, {0.001, 1},
+	} {
+		if got := w.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestRollingWindowQuantileEviction(t *testing.T) {
+	w := NewRollingWindow(4)
+	for i := 1; i <= 100; i++ {
+		w.Observe(float64(i), false)
+	}
+	// Only 97..100 remain; the median of the survivors must ignore the 96
+	// evicted observations entirely.
+	if got := w.Quantile(0.5); got != 98 {
+		t.Fatalf("Quantile(0.5) after eviction = %v, want 98", got)
+	}
+	if got := w.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+}
+
+func TestRollingWindowQuantileNilAndEmpty(t *testing.T) {
+	var nilW *RollingWindow
+	if got := nilW.Quantile(0.9); got != 0 {
+		t.Fatalf("nil Quantile = %v, want 0", got)
+	}
+	if got := nilW.Len(); got != 0 {
+		t.Fatalf("nil Len = %v, want 0", got)
+	}
+	if got := NewRollingWindow(8).Quantile(0.9); got != 0 {
+		t.Fatalf("empty Quantile = %v, want 0", got)
+	}
+}
+
+// TestRollingWindowConcurrent drives writers and quantile readers in
+// parallel; run under -race it proves the locking.
+func TestRollingWindowConcurrent(t *testing.T) {
+	w := NewRollingWindow(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				w.Observe(float64(g*1000+i), i%7 == 0)
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = w.Quantile(0.9)
+				_ = w.Snapshot()
+				_ = w.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := w.Len(); got != 64 {
+		t.Fatalf("Len after concurrent fill = %d, want 64", got)
+	}
+}

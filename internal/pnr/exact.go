@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/clocking"
 	"repro/internal/gatelayout"
@@ -231,13 +232,17 @@ func solveSize(ctx context.Context, g *RGraph, w, h int, o ExactOptions) (layout
 	enc.lFalse = enc.s.NewVar()
 	enc.s.AddClause(enc.lFalse.Neg())
 	enc.build()
+	solveStart := time.Now()
 	status = enc.s.SolveContext(ctx)
+	solveSecs := time.Since(solveStart).Seconds()
 	m := enc.s.Metrics()
 	sp.SetAttr("vars", enc.s.NumVars())
 	sp.SetAttr("clauses", enc.s.NumClauses())
 	sp.SetAttr("conflicts", m.Conflicts)
 	sp.SetAttr("decisions", m.Decisions)
+	sp.SetAttr("propagations", m.Propagations)
 	sp.SetAttr("restarts", m.Restarts)
+	sp.SetAttr("solve_seconds", solveSecs)
 	tr.Counter("sat/conflicts").Add(m.Conflicts)
 	tr.Counter("sat/decisions").Add(m.Decisions)
 	tr.Counter("sat/propagations").Add(m.Propagations)
@@ -245,6 +250,11 @@ func solveSize(ctx context.Context, g *RGraph, w, h int, o ExactOptions) (layout
 	tr.Counter("sat/learned").Add(m.Learned)
 	tr.Histogram("pnr/exact/conflicts_per_size",
 		0, 10, 100, 1e3, 1e4, 1e5, 1e6).Observe(float64(m.Conflicts))
+	// The per-aspect-ratio solve-time curve, split by outcome so the cost
+	// of the UNSAT ramp below the first feasible area is visible apart
+	// from the single SAT call that ends a search.
+	tr.Histogram(obs.Labeled("pnr/exact/size_solve_seconds", "status", status.String()),
+		obs.DefBuckets...).Observe(solveSecs)
 	if status != sat.Sat {
 		return nil, status
 	}

@@ -44,7 +44,8 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 // label cardinality stays bounded no matter what clients send.
 func routeLabel(path string) string {
 	switch path {
-	case "/v1/flow", "/v1/simulate", "/v1/gates/validate", "/v1/gates", "/healthz", "/metrics":
+	case "/v1/flow", "/v1/simulate", "/v1/gates/validate", "/v1/gates", "/healthz", "/metrics",
+		"/debug/flightrecorder":
 		return path
 	}
 	if strings.HasPrefix(path, "/v1/jobs/") {
@@ -53,7 +54,26 @@ func routeLabel(path string) string {
 		}
 		return "/v1/jobs/{id}"
 	}
+	if strings.HasPrefix(path, "/v1/traces/") {
+		return "/v1/traces/{id}"
+	}
 	return "other"
+}
+
+// costClass maps a normalized route onto its SLO objective: the compute
+// endpoints each carry their own latency budget, everything else is a
+// cheap read.
+func costClass(route string) string {
+	switch route {
+	case "/v1/flow":
+		return "flow"
+	case "/v1/simulate":
+		return "simulate"
+	case "/v1/gates/validate":
+		return "validate"
+	default:
+		return "read"
+	}
 }
 
 // newRequestID returns a fresh 16-hex-char request ID.
@@ -113,6 +133,7 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		s.tr.Histogram(obs.Labeled("http/request_duration_seconds", "path", route),
 			obs.DefBuckets...).Observe(dur.Seconds())
 		s.window.Observe(dur.Seconds(), status >= 500)
+		s.slo.Observe(costClass(route), dur.Seconds(), status >= 500)
 
 		if s.log.Enabled(obslog.LevelInfo) {
 			fields := []obslog.Field{

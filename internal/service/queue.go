@@ -83,6 +83,12 @@ type Job struct {
 
 	fn      JobFunc
 	timeout time.Duration
+	// requestID is the id of the HTTP request that submitted the job and
+	// queue is the owning queue; both are set before enqueue and never
+	// mutated, so they are read without the lock.
+	requestID string
+	queue     *Queue
+	tracer    *obs.Tracer
 
 	mu       sync.Mutex
 	state    JobState
@@ -93,26 +99,40 @@ type Job struct {
 	started  time.Time
 	finished time.Time
 	cancel   context.CancelFunc
-	tracer   *obs.Tracer
 
 	// done is closed exactly once when the job reaches a terminal state.
 	done chan struct{}
 }
 
-// AttachTracer associates the job's per-job tracer (stage spans, solver
-// metrics) so GET /v1/jobs/{id}/trace can render its RunReport.
-func (j *Job) AttachTracer(tr *obs.Tracer) {
-	j.mu.Lock()
-	j.tracer = tr
-	j.mu.Unlock()
-}
-
 // Tracer returns the per-job tracer attached at submission (nil when the
 // job kind records no trace).
-func (j *Job) Tracer() *obs.Tracer {
+func (j *Job) Tracer() *obs.Tracer { return j.tracer }
+
+// RequestID returns the id of the HTTP request that submitted the job
+// ("" for untraced submissions), the join key between the request log,
+// the job-lifecycle log lines, and the flight-recorder trace.
+func (j *Job) RequestID() string { return j.requestID }
+
+// CreatedAt returns the submission time.
+func (j *Job) CreatedAt() time.Time {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.tracer
+	return j.created
+}
+
+// RunSeconds returns the execution wall time in seconds: 0 until the job
+// starts, elapsed-so-far while running, total once terminal.
+func (j *Job) RunSeconds() float64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.started.IsZero() {
+		return 0
+	}
+	end := j.finished
+	if end.IsZero() {
+		end = time.Now()
+	}
+	return end.Sub(j.started).Seconds()
 }
 
 // Done returns a channel closed when the job reaches a terminal state.
@@ -151,9 +171,13 @@ func (j *Job) Cancel() {
 	case JobQueued:
 		j.state = JobCanceled
 		j.err = context.Canceled.Error()
+		j.errKind = ErrKindCanceled
 		j.finished = time.Now()
 		close(j.done)
 		j.mu.Unlock()
+		if j.queue != nil {
+			j.queue.finishJob(j)
+		}
 		return
 	case JobRunning:
 		cancel := j.cancel
@@ -170,6 +194,7 @@ func (j *Job) Cancel() {
 type Status struct {
 	ID         string   `json:"id"`
 	Kind       string   `json:"kind"`
+	RequestID  string   `json:"request_id,omitempty"`
 	State      JobState `json:"state"`
 	Error      string   `json:"error,omitempty"`
 	ErrorKind  string   `json:"error_kind,omitempty"`
@@ -187,6 +212,7 @@ func (j *Job) Snapshot() Status {
 	st := Status{
 		ID:        j.ID,
 		Kind:      j.Kind,
+		RequestID: j.requestID,
 		State:     j.state,
 		Error:     j.err,
 		ErrorKind: j.errKind,
@@ -232,7 +258,16 @@ type Queue struct {
 	panicked                                         *obs.Counter
 	depth, running                                   *obs.Gauge
 	waitHist                                         *obs.Histogram
+
+	// onFinish is invoked once per job as it reaches a terminal state
+	// (after its done channel closes), from the finishing goroutine. The
+	// service hooks the flight recorder here. Set before the first
+	// Submit; it is not synchronized for later swaps.
+	onFinish func(*Job)
 }
+
+// OnFinish registers the terminal-state hook (see the field doc).
+func (q *Queue) OnFinish(fn func(*Job)) { q.onFinish = fn }
 
 // NewQueue starts a queue with the given worker count, buffer depth, and
 // default per-job timeout (0 = no deadline). The tracer (nil-safe)
@@ -270,6 +305,13 @@ func NewQueue(workers, depth int, timeout time.Duration, tr *obs.Tracer, log *ob
 
 // Submit enqueues work. timeout overrides the queue default when positive.
 func (q *Queue) Submit(kind string, timeout time.Duration, fn JobFunc) (*Job, error) {
+	return q.SubmitTraced(kind, "", nil, timeout, fn)
+}
+
+// SubmitTraced enqueues work with its request-log join key and per-job
+// tracer fixed at submission, before any worker can observe the job —
+// attaching them afterwards would race a fast job's finish hook.
+func (q *Queue) SubmitTraced(kind, requestID string, tr *obs.Tracer, timeout time.Duration, fn JobFunc) (*Job, error) {
 	if timeout <= 0 {
 		timeout = q.timeout
 	}
@@ -280,13 +322,16 @@ func (q *Queue) Submit(kind string, timeout time.Duration, fn JobFunc) (*Job, er
 	}
 	q.nextID++
 	j := &Job{
-		ID:      fmt.Sprintf("j%08d", q.nextID),
-		Kind:    kind,
-		fn:      fn,
-		timeout: timeout,
-		state:   JobQueued,
-		created: time.Now(),
-		done:    make(chan struct{}),
+		ID:        fmt.Sprintf("j%08d", q.nextID),
+		Kind:      kind,
+		fn:        fn,
+		timeout:   timeout,
+		requestID: requestID,
+		queue:     q,
+		tracer:    tr,
+		state:     JobQueued,
+		created:   time.Now(),
+		done:      make(chan struct{}),
 	}
 	select {
 	case q.ch <- j:
@@ -302,7 +347,27 @@ func (q *Queue) Submit(kind string, timeout time.Duration, fn JobFunc) (*Job, er
 	q.mu.Unlock()
 	q.submitted.Inc()
 	q.depth.Set(float64(len(q.ch)))
+	q.log.Debug("job_enqueued",
+		obslog.F("job_id", j.ID),
+		obslog.F("kind", j.Kind),
+		obslog.F("request_id", j.requestID))
 	return j, nil
+}
+
+// finishJob emits the terminal lifecycle log line and fires the OnFinish
+// hook. Called exactly once per job, after its done channel closes.
+func (q *Queue) finishJob(j *Job) {
+	st := j.Snapshot()
+	q.log.Info("job_finish",
+		obslog.F("job_id", st.ID),
+		obslog.F("kind", st.Kind),
+		obslog.F("request_id", st.RequestID),
+		obslog.F("state", string(st.State)),
+		obslog.F("error_kind", st.ErrorKind),
+		obslog.F("run_ms", st.RunMS))
+	if q.onFinish != nil {
+		q.onFinish(j)
+	}
 }
 
 // pruneLocked drops the oldest finished jobs beyond the retention cap.
@@ -376,8 +441,14 @@ func (q *Queue) run(j *Job) {
 	j.cancel = cancel
 	started, created := j.started, j.created
 	j.mu.Unlock()
-	q.waitHist.Observe(started.Sub(created).Seconds())
+	wait := started.Sub(created)
+	q.waitHist.Observe(wait.Seconds())
 	q.running.Set(float64(q.runningN.Add(1)))
+	q.log.Debug("job_start",
+		obslog.F("job_id", j.ID),
+		obslog.F("kind", j.Kind),
+		obslog.F("request_id", j.requestID),
+		obslog.F("wait_ms", wait.Milliseconds()))
 
 	res, err := q.safeRun(j, ctx)
 	cancel()
@@ -419,6 +490,7 @@ func (q *Queue) run(j *Job) {
 	}
 	close(j.done)
 	j.mu.Unlock()
+	q.finishJob(j)
 }
 
 // safeRun executes the job function with panic isolation: a panicking job
@@ -434,6 +506,7 @@ func (q *Queue) safeRun(j *Job, ctx context.Context) (res any, err error) {
 			q.log.Error("job_panic",
 				obslog.F("job_id", j.ID),
 				obslog.F("kind", j.Kind),
+				obslog.F("request_id", j.requestID),
 				obslog.F("panic", fmt.Sprint(r)),
 				obslog.F("stack", string(pe.Stack)))
 		}

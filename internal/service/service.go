@@ -18,7 +18,9 @@ import (
 	"repro/internal/logic/bench"
 	"repro/internal/logic/network"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/obs/obslog"
+	"repro/internal/obs/slo"
 	"repro/internal/sidb"
 	"repro/internal/sim"
 )
@@ -58,6 +60,22 @@ type Config struct {
 	// for its cheaper fallback engines under a job deadline (default
 	// sim.DefaultDegradeMargin; see sim.Degrading).
 	DegradeMargin time.Duration
+	// SLOWindows are the burn-rate evaluation windows (default 5m and 1h).
+	// Chaos tests shrink them so budget burn and recovery are observable
+	// within a smoke run.
+	SLOWindows []time.Duration
+}
+
+// defaultObjectives declares the service's latency/error objectives per
+// cost class. Budgets are error budgets: the tolerated fraction of bad
+// (5xx or over-latency-threshold) requests.
+func defaultObjectives() []slo.Objective {
+	return []slo.Objective{
+		{Name: "flow", Latency: 30 * time.Second, Budget: 0.01},
+		{Name: "simulate", Latency: 5 * time.Second, Budget: 0.01},
+		{Name: "validate", Latency: 5 * time.Second, Budget: 0.01},
+		{Name: "read", Latency: 250 * time.Millisecond, Budget: 0.01},
+	}
 }
 
 // Server is the bestagond HTTP service: a JSON API over the design flow,
@@ -76,6 +94,8 @@ type Server struct {
 	started   time.Time
 	window    *obs.RollingWindow
 	stageSink *obs.StageObserver
+	flight    *flight.Recorder
+	slo       *slo.Engine
 	inFlight  atomic.Int64
 }
 
@@ -109,7 +129,28 @@ func New(cfg Config) (*Server, error) {
 		started: time.Now(),
 		window:  obs.NewRollingWindow(512),
 	}
-	s.stageSink = &obs.StageObserver{Tracer: s.tr, Family: "flow_stage_seconds"}
+	s.stageSink = &obs.StageObserver{
+		Tracer: s.tr,
+		Family: "flow_stage_seconds",
+		// Solver-depth telemetry: numeric span attributes recorded by the
+		// SAT size search and the annealer are folded into server-wide
+		// histograms labeled by stage, so /metrics exposes search-effort
+		// distributions (how hard solves are, not just how long).
+		Attrs: []obs.AttrHistogram{
+			{Key: "conflicts", Family: "sat_conflicts_per_solve",
+				Bounds: []float64{0, 10, 100, 1e3, 1e4, 1e5, 1e6}},
+			{Key: "decisions", Family: "sat_decisions_per_solve",
+				Bounds: []float64{0, 10, 100, 1e3, 1e4, 1e5, 1e6}},
+			{Key: "propagations", Family: "sat_propagations_per_solve",
+				Bounds: []float64{0, 100, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8}},
+			{Key: "restarts", Family: "sat_restarts_per_solve",
+				Bounds: []float64{0, 1, 2, 5, 10, 20, 50, 100}},
+			{Key: "acceptance_rate", Family: "anneal_acceptance_rate",
+				Bounds: []float64{0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 0.75, 1}},
+		},
+	}
+	s.slo = slo.New(defaultObjectives(), cfg.SLOWindows...)
+	s.flight = flight.NewRecorder(flight.Options{Tracer: s.tr})
 	s.lru.Instrument(s.tr, "cache/mem")
 	s.flow = &cache.FlowCache{Mem: s.lru}
 	if cfg.CacheDir != "" {
@@ -127,6 +168,7 @@ func New(cfg Config) (*Server, error) {
 		})
 	}
 	s.queue = NewQueue(cfg.Workers, cfg.QueueDepth, cfg.JobTimeout, s.tr, s.log)
+	s.queue.OnFinish(s.recordFlight)
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/flow", s.handleFlow)
@@ -136,6 +178,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
+	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceGet)
+	s.mux.HandleFunc("GET /debug/flightrecorder", s.handleFlightRecorder)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.handler = s.instrument(s.mux)
@@ -237,13 +281,15 @@ func (s *Server) newJobTracer() *obs.Tracer {
 	return jtr
 }
 
-// submit enqueues fn, applying queue backpressure to the response.
-func (s *Server) submit(w http.ResponseWriter, kind string, timeoutMS int64, fn JobFunc) (*Job, bool) {
+// submit enqueues fn, applying queue backpressure to the response. The
+// request id and per-job tracer ride along so they are attached before a
+// worker can pick the job up (see Queue.SubmitTraced).
+func (s *Server) submit(w http.ResponseWriter, kind, rid string, jtr *obs.Tracer, timeoutMS int64, fn JobFunc) (*Job, bool) {
 	timeout := time.Duration(timeoutMS) * time.Millisecond
 	if s.cfg.JobTimeout > 0 && (timeout <= 0 || timeout > s.cfg.JobTimeout) {
 		timeout = s.cfg.JobTimeout
 	}
-	j, err := s.queue.Submit(kind, timeout, fn)
+	j, err := s.queue.SubmitTraced(kind, rid, jtr, timeout, fn)
 	switch err {
 	case nil:
 		return j, true
@@ -416,11 +462,10 @@ func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 		}
 		return &jobResult{body: append(body, '\n'), source: source, degraded: art.Degraded}, nil
 	}
-	j, ok := s.submit(w, "flow", req.TimeoutMS, fn)
+	j, ok := s.submit(w, "flow", rid, jtr, req.TimeoutMS, fn)
 	if !ok {
 		return
 	}
-	j.AttachTracer(jtr)
 	if req.Async {
 		w.Header().Set("Location", "/v1/jobs/"+j.ID)
 		writeJSON(w, http.StatusAccepted, j.Snapshot())
@@ -578,11 +623,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		}
 		return &jobResult{body: append(body, '\n'), source: source, degraded: sol.Degraded}, nil
 	}
-	j, ok := s.submit(w, "simulate", req.TimeoutMS, fn)
+	j, ok := s.submit(w, "simulate", rid, jtr, req.TimeoutMS, fn)
 	if !ok {
 		return
 	}
-	j.AttachTracer(jtr)
 	if req.Async {
 		w.Header().Set("Location", "/v1/jobs/"+j.ID)
 		writeJSON(w, http.StatusAccepted, j.Snapshot())
@@ -663,11 +707,10 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 		}
 		return &jobResult{body: append(body, '\n'), source: source}, nil
 	}
-	j, ok := s.submit(w, "validate", req.TimeoutMS, fn)
+	j, ok := s.submit(w, "validate", rid, jtr, req.TimeoutMS, fn)
 	if !ok {
 		return
 	}
-	j.AttachTracer(jtr)
 	s.await(w, r, j)
 }
 
@@ -725,6 +768,55 @@ func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 		"job":   j.Snapshot(),
 		"trace": jtr.Report(j.ID),
 	})
+}
+
+// recordFlight is the queue's OnFinish hook: every terminal job is offered
+// to the flight recorder, which keeps all error/degraded/slow traces and a
+// sample of fast successes (see internal/obs/flight).
+func (s *Server) recordFlight(j *Job) {
+	st := j.Snapshot()
+	t := flight.Trace{
+		ID:        j.ID,
+		Kind:      j.Kind,
+		State:     string(st.State),
+		ErrorKind: st.ErrorKind,
+		Degraded:  st.ErrorKind == ErrKindDegraded,
+		RequestID: j.RequestID(),
+		StartedAt: j.CreatedAt(),
+		Seconds:   j.RunSeconds(),
+	}
+	if jtr := j.Tracer(); jtr != nil {
+		t.Report = jtr.Report(j.ID)
+	}
+	s.flight.Record(t)
+}
+
+// handleFlightRecorder serves the flight-recorder summary: retention
+// counts per class, sampling policy, and the headers of every retained
+// trace (newest first). Full traces are at /v1/traces/{id}.
+func (s *Server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.flight.Summary())
+}
+
+// handleTraceGet serves a retained trace by job id. It prefers the flight
+// recorder (which outlives the job history) and falls back to the live
+// job's tracer for jobs not yet or never admitted.
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if t, ok := s.flight.Get(id); ok {
+		writeJSON(w, http.StatusOK, t)
+		return
+	}
+	if j, ok := s.queue.Get(id); ok {
+		if jtr := j.Tracer(); jtr != nil {
+			writeJSON(w, http.StatusOK, map[string]any{
+				"job":   j.Snapshot(),
+				"trace": jtr.Report(j.ID),
+			})
+			return
+		}
+	}
+	writeErrKind(w, http.StatusNotFound, ErrKindNotFound, "no retained trace for %s", id)
 }
 
 // handleHealthz reports liveness plus an operational snapshot: queue and
@@ -795,41 +887,57 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"p90_ms":     1e3 * win.P90,
 			"p99_ms":     1e3 * win.P99,
 		},
+		"slo": s.slo.Snapshot(),
 	})
 }
 
 // metricHelp maps sanitized Prometheus family names to their HELP text.
 var metricHelp = map[string]string{
-	"http_requests_total":             "HTTP requests by method, normalized route, and status code.",
-	"http_request_duration_seconds":   "HTTP request latency in seconds by normalized route.",
-	"http_in_flight_requests":         "Requests currently being served.",
-	"queue_submitted":                 "Jobs accepted into the queue.",
-	"queue_completed":                 "Jobs that finished successfully.",
-	"queue_failed":                    "Jobs that finished with an error.",
-	"queue_canceled":                  "Jobs canceled or timed out.",
-	"queue_rejected":                  "Jobs rejected with 429 because the queue was full.",
-	"queue_depth":                     "Queued-but-not-running jobs (sampled at enqueue/dequeue).",
-	"queue_depth_now":                 "Queued-but-not-running jobs at scrape time.",
-	"queue_running":                   "Jobs currently executing on the worker pool.",
-	"queue_wait_seconds":              "Time jobs spent queued before a worker picked them up.",
-	"job_duration_seconds":            "Job execution time by kind (flow, simulate, validate).",
-	"flow_stage_seconds":              "Per-stage latency aggregated across jobs (rewrite, pnr, verify, cellsim, simulate, ...).",
-	"sim_solve_seconds":               "Ground-state solve latency by solver backend (cache misses only).",
-	"cache_mem_hits":                  "In-memory result cache hits.",
-	"cache_mem_misses":                "In-memory result cache misses.",
-	"cache_mem_evictions":             "In-memory result cache evictions.",
-	"cache_mem_bytes":                 "Bytes held by the in-memory result cache.",
-	"cache_mem_entries":               "Entries held by the in-memory result cache.",
-	"cache_mem_hit_rate":              "Lifetime hit rate of the in-memory result cache.",
-	"jobs_panicked_total":             "Jobs whose function panicked; the worker recovered and recorded the job as failed.",
-	"sim_degraded_total":              "Ground-state solves degraded to a cheaper engine by deadline pressure, by from/to.",
-	"flow_degraded_total":             "Flow runs whose physical design degraded to the ortho router under deadline pressure.",
-	"cache_disk_breaker_state":        "Disk-cache circuit breaker state: 0 closed, 1 half-open, 2 open (memory-only).",
-	"cache_disk_breaker_trips_total":  "Times the disk-cache breaker tripped open.",
-	"cache_disk_retries_total":        "Disk-cache operations retried after a transient failure.",
-	"cache_disk_io_errors_total":      "Disk-cache I/O failures (each attempt, before retry).",
-	"cache_disk_short_circuits_total": "Disk-cache operations skipped because the breaker was open.",
-	"faults_armed":                    "1 when the fault-injection registry is armed (chaos testing), else absent.",
+	"http_requests_total":                "HTTP requests by method, normalized route, and status code.",
+	"http_request_duration_seconds":      "HTTP request latency in seconds by normalized route.",
+	"http_in_flight_requests":            "Requests currently being served.",
+	"queue_submitted":                    "Jobs accepted into the queue.",
+	"queue_completed":                    "Jobs that finished successfully.",
+	"queue_failed":                       "Jobs that finished with an error.",
+	"queue_canceled":                     "Jobs canceled or timed out.",
+	"queue_rejected":                     "Jobs rejected with 429 because the queue was full.",
+	"queue_depth":                        "Queued-but-not-running jobs (sampled at enqueue/dequeue).",
+	"queue_depth_now":                    "Queued-but-not-running jobs at scrape time.",
+	"queue_running":                      "Jobs currently executing on the worker pool.",
+	"queue_wait_seconds":                 "Time jobs spent queued before a worker picked them up.",
+	"job_duration_seconds":               "Job execution time by kind (flow, simulate, validate).",
+	"flow_stage_seconds":                 "Per-stage latency aggregated across jobs (rewrite, pnr, verify, cellsim, simulate, ...).",
+	"sim_solve_seconds":                  "Ground-state solve latency by solver backend (cache misses only).",
+	"cache_mem_hits":                     "In-memory result cache hits.",
+	"cache_mem_misses":                   "In-memory result cache misses.",
+	"cache_mem_evictions":                "In-memory result cache evictions.",
+	"cache_mem_bytes":                    "Bytes held by the in-memory result cache.",
+	"cache_mem_entries":                  "Entries held by the in-memory result cache.",
+	"cache_mem_hit_rate":                 "Lifetime hit rate of the in-memory result cache.",
+	"jobs_panicked_total":                "Jobs whose function panicked; the worker recovered and recorded the job as failed.",
+	"sim_degraded_total":                 "Ground-state solves degraded to a cheaper engine by deadline pressure, by from/to.",
+	"flow_degraded_total":                "Flow runs whose physical design degraded to the ortho router under deadline pressure.",
+	"cache_disk_breaker_state":           "Disk-cache circuit breaker state: 0 closed, 1 half-open, 2 open (memory-only).",
+	"cache_disk_breaker_trips_total":     "Times the disk-cache breaker tripped open.",
+	"cache_disk_retries_total":           "Disk-cache operations retried after a transient failure.",
+	"cache_disk_io_errors_total":         "Disk-cache I/O failures (each attempt, before retry).",
+	"cache_disk_short_circuits_total":    "Disk-cache operations skipped because the breaker was open.",
+	"faults_armed":                       "1 when the fault-injection registry is armed (chaos testing), else absent.",
+	"slo_burn_rate":                      "Error-budget burn rate per objective and window (1 = burning exactly the budget).",
+	"slo_budget_remaining":               "Lifetime error-budget fraction remaining per objective (negative = overspent).",
+	"flight_admitted_total":              "Traces admitted to the flight recorder, by retention class.",
+	"flight_dropped_total":               "Fast-OK traces not sampled by the flight recorder.",
+	"flight_evicted_total":               "Traces evicted from a full flight-recorder ring, by class.",
+	"flight_retained":                    "Traces currently retained by the flight recorder, by class.",
+	"sat_conflicts_per_solve":            "SAT solver conflicts per solve call, by stage.",
+	"sat_decisions_per_solve":            "SAT solver decisions per solve call, by stage.",
+	"sat_propagations_per_solve":         "SAT solver unit propagations per solve call, by stage.",
+	"sat_restarts_per_solve":             "SAT solver restarts per solve call, by stage.",
+	"anneal_acceptance_rate":             "Annealer move acceptance rate per run, by stage (from span attrs).",
+	"sim_anneal_acceptance_rate":         "Annealer move acceptance rate per run (span-free metrics path).",
+	"pnr_exact_size_solve_seconds":       "Exact P&R per-aspect-ratio SAT solve time, by SAT/UNSAT status.",
+	"sim_quickexact_prune_rate":          "QuickExact fraction of search nodes pruned (bound + stability).",
+	"sim_quickexact_presolve_fixed_frac": "QuickExact fraction of free dots fixed by presolve.",
 }
 
 // handleMetrics renders every tracer metric in the Prometheus text
@@ -841,6 +949,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.lru.Stats()
 	s.tr.Gauge("cache/mem/hit_rate").Set(st.HitRate())
 	s.tr.Gauge("queue/depth_now").Set(float64(s.queue.Depth()))
+	s.slo.Export(s.tr)
 	w.Header().Set("Content-Type", obs.ExpositionContentType)
 	s.tr.WriteExposition(w, metricHelp)
 }

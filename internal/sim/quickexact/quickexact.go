@@ -481,6 +481,18 @@ func emit(tr *obs.Tracer, st *Stats) {
 	tr.Gauge("sim/quickexact/last_undecided").Set(float64(st.Undecided))
 	tr.Gauge("sim/quickexact/last_frontier_depth").Set(st.MeanFrontierDepth)
 	tr.Histogram("sim/quickexact/undecided_depth", 4, 8, 12, 16, 20, 24, 28, 32, 40).Observe(float64(st.Undecided))
+	if st.Nodes > 0 {
+		// How much of the search tree the bounds cut: the paper-motivated
+		// effort metric for comparing pruned-exact engines across PRs.
+		pruneRate := float64(st.BoundPruned+st.StabilityPruned) / float64(st.Nodes)
+		tr.Histogram("sim/quickexact/prune_rate",
+			0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1).Observe(pruneRate)
+	}
+	if st.FreeDots > 0 {
+		fixedFrac := float64(st.PresolveCharged+st.PresolveNeutral) / float64(st.FreeDots)
+		tr.Histogram("sim/quickexact/presolve_fixed_frac",
+			0.1, 0.25, 0.5, 0.75, 0.9, 1).Observe(fixedFrac)
+	}
 }
 
 // searcher is one depth-first branch-and-bound traversal over the reduced

@@ -278,6 +278,12 @@ type AnnealConfig struct {
 	// Tracer receives annealing telemetry (restart/sweep/accepted-move
 	// counts and the best-energy trace); nil disables it at no cost.
 	Tracer *obs.Tracer
+	// Metrics receives the counter/gauge/histogram telemetry only — no
+	// spans — so parallel solver workers sharing one tracer can still
+	// report annealing effort (spans nest on a single implicit stack and
+	// are not safe for concurrent regions). When nil, Tracer (if any)
+	// receives the metrics as before.
+	Metrics *obs.Tracer
 	// Ctx interrupts the annealing when cancelled: Anneal stops between
 	// sweeps and returns the best configuration found so far. Nil behaves
 	// like context.Background.
@@ -296,6 +302,10 @@ func DefaultAnnealConfig() AnnealConfig {
 // so far is returned (use the context's error to detect the early stop).
 func (e *Engine) Anneal(cfg AnnealConfig) ([]bool, float64) {
 	tr := cfg.Tracer
+	mt := cfg.Metrics
+	if mt == nil {
+		mt = tr
+	}
 	sp := tr.Start("sim/anneal")
 	defer sp.End()
 	canceled := func() bool {
@@ -380,20 +390,33 @@ func (e *Engine) Anneal(cfg AnnealConfig) ([]bool, float64) {
 			energyTrace = append(energyTrace, bestE)
 		}
 	}
+	var acceptRate float64
+	if flipsTried > 0 {
+		acceptRate = float64(accepted) / float64(flipsTried)
+	}
 	if tr != nil {
 		sp.SetAttr("restarts", cfg.Restarts)
 		sp.SetAttr("sweeps", cfg.Sweeps)
 		sp.SetAttr("free_dots", len(freeIdx))
 		sp.SetAttr("flips_tried", flipsTried)
 		sp.SetAttr("accepted", accepted)
+		sp.SetAttr("acceptance_rate", acceptRate)
 		sp.SetAttr("best_energy", bestE)
 		sp.SetAttr("energy_trace", energyTrace)
-		tr.Counter("sim/anneal/runs").Inc()
-		tr.Counter("sim/anneal/restarts").Add(int64(cfg.Restarts))
-		tr.Counter("sim/anneal/sweeps").Add(int64(cfg.Restarts * cfg.Sweeps))
-		tr.Counter("sim/anneal/flips_tried").Add(flipsTried)
-		tr.Counter("sim/anneal/accepted").Add(accepted)
-		tr.Gauge("sim/anneal/best_energy").Set(bestE)
+	}
+	if mt != nil {
+		mt.Counter("sim/anneal/runs").Inc()
+		mt.Counter("sim/anneal/restarts").Add(int64(cfg.Restarts))
+		mt.Counter("sim/anneal/sweeps").Add(int64(cfg.Restarts * cfg.Sweeps))
+		mt.Counter("sim/anneal/flips_tried").Add(flipsTried)
+		mt.Counter("sim/anneal/accepted").Add(accepted)
+		mt.Gauge("sim/anneal/best_energy").Set(bestE)
+		if flipsTried > 0 {
+			// The schedule's health signal: near 1 the walk is random (too
+			// hot for the instance), near 0 it is frozen (wasted sweeps).
+			mt.Histogram("sim/anneal/acceptance_rate",
+				0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 0.75, 1).Observe(acceptRate)
+		}
 	}
 	return best, bestE
 }

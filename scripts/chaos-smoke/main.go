@@ -73,6 +73,10 @@ func main() {
 		"-faults-seed", "7",
 		"-max-retries", "2",
 		"-degrade-margin", "250ms",
+		// Short SLO windows so budget burn is visible during the storm and
+		// measurably recovers within the smoke run's few idle seconds.
+		"-slo-short-window", "3s",
+		"-slo-long-window", "1m",
 		"-log-level", "warn",
 	)
 	daemon.Stdout, daemon.Stderr = os.Stderr, os.Stderr
@@ -129,6 +133,10 @@ func main() {
 	step(fmt.Sprintf("request storm: %d mixed requests with panics, disk faults, and deadline pressure", storm))
 	var codes = map[int]int{}
 	var degraded, cacheHits int
+	// Every error or degraded job must later have a retrievable
+	// flight-recorder trace; collect their job ids as the storm runs.
+	badJobs := map[string]string{} // job id -> why it must be retained
+	var maxBurn float64
 	for i := 0; i < storm; i++ {
 		alive(fmt.Sprintf("mid-storm (request %d)", i))
 		var code int
@@ -159,11 +167,17 @@ func main() {
 				}
 			}
 		default: // timeout storm: 1ms deadlines force the canceled path
-			code, _, body = post("/v1/flow", map[string]any{
+			code, hdr, body = post("/v1/flow", map[string]any{
 				"bench": "mux21", "engine": "ortho", "timeout_ms": 1, "nocache": true,
 			})
 		}
 		codes[code]++
+		if hdr != nil {
+			if jid := hdr.Get("X-Job-Id"); jid != "" &&
+				(code >= 500 || code == http.StatusUnprocessableEntity || hdr.Get("X-Degraded") == "true") {
+				badJobs[jid] = fmt.Sprintf("status %d degraded=%q", code, hdr.Get("X-Degraded"))
+			}
+		}
 		switch code {
 		case http.StatusOK, http.StatusTooManyRequests, http.StatusGatewayTimeout:
 		case http.StatusInternalServerError, http.StatusUnprocessableEntity:
@@ -182,6 +196,9 @@ func main() {
 			if code := getCode("/healthz"); code != http.StatusOK {
 				fatal(fmt.Errorf("healthz = %d mid-storm; daemon must stay live", code))
 			}
+			if b := flowBurn("3s"); b > maxBurn {
+				maxBurn = b
+			}
 		}
 	}
 	alive("after the storm")
@@ -193,7 +210,51 @@ func main() {
 			fatal(fmt.Errorf("%s: storm never observed a cache hit; byte-identity was not exercised", c.path))
 		}
 	}
-	fmt.Printf("chaos-smoke: status codes %v, cache hits %d, degraded %d\n", codes, cacheHits, degraded)
+	fmt.Printf("chaos-smoke: status codes %v, cache hits %d, degraded %d, bad jobs %d\n",
+		codes, cacheHits, degraded, len(badJobs))
+
+	step("SLO: error budget must burn under faults and recover after")
+	if b := flowBurn("3s"); b > maxBurn {
+		maxBurn = b
+	}
+	// 20% injected faults against a 1% error budget: the short-window burn
+	// rate must have exceeded 1 (burning faster than budget) mid-storm.
+	if maxBurn <= 1 {
+		fatal(fmt.Errorf("flow short-window burn rate peaked at %.2f; want > 1 under 20%% faults", maxBurn))
+	}
+	fmt.Printf("chaos-smoke: peak flow burn rate %.1f; waiting for the 3s window to drain\n", maxBurn)
+	time.Sleep(4 * time.Second)
+	if b := flowBurn("3s"); b != 0 {
+		fatal(fmt.Errorf("flow short-window burn rate %.2f after idle; want 0 (budget recovered)", b))
+	}
+
+	step("flight recorder: every error/degraded job has a retrievable trace")
+	var fr struct {
+		Retained map[string]int `json:"retained"`
+		Traces   []struct {
+			ID string `json:"id"`
+		} `json:"traces"`
+	}
+	mustGet("/debug/flightrecorder", &fr)
+	retainedIDs := map[string]bool{}
+	for _, t := range fr.Traces {
+		retainedIDs[t.ID] = true
+	}
+	if fr.Retained["error"] == 0 {
+		fatal(fmt.Errorf("flight recorder retained no error-class traces after the storm"))
+	}
+	if len(badJobs) == 0 {
+		fatal(fmt.Errorf("storm produced no error/degraded jobs; fault injection broken"))
+	}
+	for id, why := range badJobs {
+		if !retainedIDs[id] {
+			fatal(fmt.Errorf("job %s (%s) not retained by the flight recorder", id, why))
+		}
+		if code := getCode("/v1/traces/" + id); code != http.StatusOK {
+			fatal(fmt.Errorf("GET /v1/traces/%s = %d; want 200 for a retained %s job", id, code, why))
+		}
+	}
+	fmt.Printf("chaos-smoke: all %d error/degraded traces retained and retrievable\n", len(badJobs))
 
 	step("metrics: panic, degrade, and breaker series")
 	metrics := rawGet("/metrics")
@@ -203,6 +264,8 @@ func main() {
 		"cache_disk_breaker_state",
 		"cache_disk_io_errors_total",
 		"faults_armed 1",
+		"slo_burn_rate{",
+		"flight_retained{",
 	} {
 		if !strings.Contains(metrics, want) {
 			fatal(fmt.Errorf("metrics missing %q", want))
@@ -295,6 +358,34 @@ func post(path string, payload any) (int, http.Header, []byte) {
 	defer resp.Body.Close()
 	body, _ := io.ReadAll(resp.Body)
 	return resp.StatusCode, resp.Header, body
+}
+
+// flowBurn reads the flow objective's burn rate for the named window from
+// /healthz (0 when the section is missing — callers assert on peaks, so a
+// transiently unreadable sample only loses one data point).
+func flowBurn(window string) float64 {
+	var hz struct {
+		SLO map[string]struct {
+			Windows []struct {
+				Window   string  `json:"window"`
+				BurnRate float64 `json:"burn_rate"`
+			} `json:"windows"`
+		} `json:"slo"`
+	}
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		return 0
+	}
+	for _, w := range hz.SLO["flow"].Windows {
+		if w.Window == window {
+			return w.BurnRate
+		}
+	}
+	return 0
 }
 
 // metricValue extracts the sample of the first series whose name starts

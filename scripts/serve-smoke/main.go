@@ -119,6 +119,36 @@ func main() {
 		fatal(fmt.Errorf("job trace has no flow stage: %+v", trace.Trace.Stages))
 	}
 
+	step("GET /debug/flightrecorder")
+	var fr struct {
+		Retained map[string]int `json:"retained"`
+		Traces   []struct {
+			ID    string `json:"id"`
+			Class string `json:"class"`
+		} `json:"traces"`
+	}
+	mustGet("/debug/flightrecorder", &fr)
+	if len(fr.Traces) == 0 {
+		fatal(fmt.Errorf("flight recorder retained no traces after %d jobs", 5))
+	}
+	total := 0
+	for _, n := range fr.Retained {
+		total += n
+	}
+	if total != len(fr.Traces) {
+		fatal(fmt.Errorf("flight recorder retained counts (%d) disagree with trace list (%d)", total, len(fr.Traces)))
+	}
+
+	step("GET /v1/traces/{id} (retained trace retrieval)")
+	var retained struct {
+		ID    string          `json:"id"`
+		Trace json.RawMessage `json:"trace"`
+	}
+	mustGet("/v1/traces/"+fr.Traces[0].ID, &retained)
+	if retained.ID != fr.Traces[0].ID || len(retained.Trace) == 0 {
+		fatal(fmt.Errorf("retained trace %s came back empty", fr.Traces[0].ID))
+	}
+
 	step("concurrent burst (8 clients)")
 	var wg sync.WaitGroup
 	errs := make(chan error, 32)
@@ -159,6 +189,9 @@ func main() {
 		"_bucket{",
 		"cache_mem_hits",
 		"queue_submitted",
+		"slo_burn_rate{",
+		"slo_budget_remaining{",
+		"flight_retained{",
 	} {
 		if !strings.Contains(metrics, want) {
 			fatal(fmt.Errorf("metrics missing %q", want))
