@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race bench bench-sim bench-cache bench-service bench-pnr bench-engines table1 serve serve-smoke chaos-smoke clean
+.PHONY: all build test check race bench bench-sim bench-cache bench-service bench-fleet bench-pnr bench-engines table1 serve serve-smoke chaos-smoke clean
 
 all: build
 
@@ -48,6 +48,14 @@ bench-cache:
 # cold/warm workload from concurrent clients. Writes BENCH_service.json.
 bench-service:
 	$(GO) run ./cmd/benchserve
+
+# bench-fleet boots three mutually-peered bestagond replicas and measures
+# the cluster layer: a concurrent cold storm must collapse onto ~one solve
+# per unique key (consistent-hash ownership + fleet-wide single-flight)
+# and the fleet-wide warm hit rate must match a standalone replica's.
+# Writes BENCH_fleet.json and exits nonzero on either regression.
+bench-fleet:
+	$(GO) run ./cmd/benchserve -replicas 3 -o BENCH_fleet.json
 
 # bench-pnr records the exact P&R engine's per-aspect-ratio SAT solve
 # times (grid dims, SAT/UNSAT, conflicts/propagations/restarts) across the

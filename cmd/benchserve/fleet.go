@@ -1,0 +1,352 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Fleet mode (-replicas N) boots N mutually-peered bestagond replicas and
+// measures what the cluster layer buys: a concurrent cold storm of
+// identical requests sprayed round-robin across replicas should collapse
+// onto roughly one solve per unique key (consistent-hash ownership plus
+// fleet-wide single-flight), and the warm fleet-wide hit rate should
+// match a standalone replica's. The report lands in BENCH_fleet.json and
+// the process exits nonzero when either property fails, so CI catches
+// cluster regressions the single-replica benchmark cannot see.
+
+type fleetReport struct {
+	Replicas   int `json:"replicas"`
+	Clients    int `json:"clients"`
+	Gates      int `json:"gates"`
+	UniqueKeys int `json:"unique_keys"`
+
+	// ColdStorm is the latency of clients concurrently requesting the same
+	// uncached key set against different replicas.
+	ColdStorm latencyStats `json:"cold_storm"`
+	// ColdSolves sums jobs_cold_solves_total across replicas over the whole
+	// run: the number of times any replica actually ran a solver. Perfect
+	// deduplication makes this equal UniqueKeys.
+	ColdSolves         int     `json:"cold_solves"`
+	DuplicateRatio     float64 `json:"duplicate_ratio"`
+	SingleflightMerged int     `json:"singleflight_merged"`
+	ForwardedRequests  int     `json:"forwarded_requests"`
+	PeerCacheRequests  int     `json:"peer_cache_requests"`
+
+	Warm          latencyStats `json:"warm"`
+	WallSeconds   float64      `json:"wall_seconds"`
+	ThroughputRPS float64      `json:"throughput_rps"`
+	// FleetHitRate is the client-observed hit rate of the warm phase across
+	// the whole fleet; SingleReplicaHitRate is the same workload against
+	// one standalone replica, the bar the fleet must clear.
+	FleetHitRate         float64 `json:"fleet_hit_rate"`
+	SingleReplicaHitRate float64 `json:"single_replica_hit_rate"`
+	PerReplicaColdSolves []int   `json:"per_replica_cold_solves"`
+}
+
+// benchOp is one request of the benchmark workload; the full workload is
+// every gate on both compute endpoints.
+type benchOp struct {
+	path string
+	gate string
+}
+
+func runFleet(n, clients, rounds, workers int, out string) {
+	// The storm needs enough concurrent clients that every replica sees
+	// simultaneous requests for the same keys.
+	if clients < 3*n {
+		clients = 3 * n
+	}
+
+	bin, cleanup := buildDaemonBinary()
+	defer cleanup()
+
+	const secret = "benchserve-fleet"
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = freeAddr()
+	}
+	procs := make([]*exec.Cmd, n)
+	for i, a := range addrs {
+		var peers []string
+		for j, p := range addrs {
+			if j != i {
+				peers = append(peers, p)
+			}
+		}
+		procs[i] = startReplica(bin, a,
+			"-workers", strconv.Itoa(workers),
+			"-peers", strings.Join(peers, ","),
+			"-cluster-secret", secret,
+			"-probe-interval", "200ms",
+		)
+	}
+	defer func() {
+		for _, p := range procs {
+			stopReplica(p)
+		}
+	}()
+
+	targets := make([]string, n)
+	for i, a := range addrs {
+		targets[i] = "http://" + a
+		waitHealthyAt(targets[i], 30*time.Second)
+	}
+	waitFleetFormed(targets, n, 15*time.Second)
+	fmt.Fprintf(os.Stderr, "benchserve: fleet of %d replicas formed (%s)\n", n, strings.Join(addrs, ", "))
+
+	gates := listGatesAt(targets[0])
+	if len(gates) == 0 {
+		fatal(fmt.Errorf("empty gate library"))
+	}
+	ops := buildOps(gates)
+
+	var rep fleetReport
+	rep.Replicas = n
+	rep.Clients = clients
+	rep.Gates = len(gates)
+	rep.UniqueKeys = len(ops)
+
+	// Cold storm: every client walks the same op list concurrently, each
+	// starting against a different replica, so identical cold requests hit
+	// the fleet from all sides at once.
+	storm := runPhase(targets, ops, clients, 1)
+	rep.ColdStorm = summarize(storm.ms, storm.errs)
+
+	// Warm phase: the whole key set is now owned somewhere in the fleet;
+	// every request should be answered from cache, locally or via the
+	// owner replica.
+	warmStart := time.Now()
+	warm := runPhase(targets, ops, clients, rounds)
+	rep.WallSeconds = time.Since(warmStart).Seconds()
+	rep.Warm = summarize(warm.ms, warm.errs)
+	if total := warm.hits + warm.misses; total > 0 {
+		rep.FleetHitRate = float64(warm.hits) / float64(total)
+		rep.ThroughputRPS = float64(total) / rep.WallSeconds
+	}
+
+	// Scrape every replica once, after both phases: cold solves are
+	// cumulative, so any warm-phase re-solve (a dedup failure) counts
+	// against the duplicate ratio too.
+	var coldSolves, merged, forwarded, peerReqs float64
+	for _, t := range targets {
+		m, err := rawGetFrom(t, "/metrics")
+		if err != nil {
+			fatal(fmt.Errorf("scrape %s/metrics: %w", t, err))
+		}
+		cs := scrapeSum(m, "jobs_cold_solves_total")
+		rep.PerReplicaColdSolves = append(rep.PerReplicaColdSolves, int(cs))
+		coldSolves += cs
+		merged += scrapeSum(m, "cluster_singleflight_merged_total")
+		forwarded += scrapeSum(m, "cluster_forwarded_total")
+		peerReqs += scrapeSum(m, "cluster_peer_requests_total")
+	}
+	rep.ColdSolves = int(coldSolves)
+	if rep.UniqueKeys > 0 {
+		rep.DuplicateRatio = coldSolves / float64(rep.UniqueKeys)
+	}
+	rep.SingleflightMerged = int(merged)
+	rep.ForwardedRequests = int(forwarded)
+	rep.PeerCacheRequests = int(peerReqs)
+
+	// Baseline: the same workload against one standalone replica sets the
+	// hit-rate bar the fleet must not fall below.
+	rep.SingleReplicaHitRate = singleReplicaBaseline(bin, workers, ops, clients, rounds)
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("benchserve: fleet cold storm %d reqs x %d clients: p50 %.2fms p99 %.2fms\n",
+		rep.ColdStorm.Requests, clients, rep.ColdStorm.P50MS, rep.ColdStorm.P99MS)
+	fmt.Printf("benchserve: fleet cold solves %d for %d unique keys (ratio %.2f), singleflight merged %d, forwarded %d\n",
+		rep.ColdSolves, rep.UniqueKeys, rep.DuplicateRatio, rep.SingleflightMerged, rep.ForwardedRequests)
+	fmt.Printf("benchserve: fleet warm %d reqs: %.0f req/s, p50 %.2fms p99 %.2fms, hit rate %.0f%% (standalone %.0f%%)\n",
+		rep.Warm.Requests, rep.ThroughputRPS, rep.Warm.P50MS, rep.Warm.P99MS,
+		100*rep.FleetHitRate, 100*rep.SingleReplicaHitRate)
+	fmt.Printf("benchserve: wrote %s\n", out)
+
+	var failures []string
+	if storm.errs > 0 || warm.errs > 0 {
+		failures = append(failures, fmt.Sprintf("%d request errors", storm.errs+warm.errs))
+	}
+	// Timing skew means a handful of stragglers can legitimately re-solve a
+	// key (the first solve finished and was evicted, or raced the peer
+	// publish), so the bound is "about one solve per key", not exactly one.
+	if rep.DuplicateRatio > 1.5 {
+		failures = append(failures, fmt.Sprintf("duplicate ratio %.2f > 1.5: fleet single-flight not deduplicating", rep.DuplicateRatio))
+	}
+	if rep.FleetHitRate < rep.SingleReplicaHitRate-0.05 {
+		failures = append(failures, fmt.Sprintf("fleet hit rate %.2f below standalone %.2f", rep.FleetHitRate, rep.SingleReplicaHitRate))
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "benchserve: FAIL: %s\n", strings.Join(failures, "; "))
+		os.Exit(1)
+	}
+}
+
+func buildOps(gates []string) []benchOp {
+	var ops []benchOp
+	for _, path := range []string{"/v1/simulate", "/v1/gates/validate"} {
+		for _, g := range gates {
+			ops = append(ops, benchOp{path: path, gate: g})
+		}
+	}
+	return ops
+}
+
+type phaseResult struct {
+	ms           []float64
+	hits, misses int
+	errs         int
+}
+
+// runPhase drives clients concurrent workers, each making `rounds` passes
+// over the op list, spraying requests round-robin across targets. Client
+// c's requests start at target c%len(targets) so the same op lands on
+// different replicas for different clients.
+func runPhase(targets []string, ops []benchOp, clients, rounds int) phaseResult {
+	var mu sync.Mutex
+	var res phaseResult
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for i, op := range ops {
+					t := targets[(c+i)%len(targets)]
+					ms, hit, _, err := timedPostTo(t, op.path, map[string]any{"gate": op.gate})
+					mu.Lock()
+					if err != nil {
+						res.errs++
+						fmt.Fprintf(os.Stderr, "benchserve: fleet request failed: %v\n", err)
+					} else {
+						res.ms = append(res.ms, ms)
+						if hit {
+							res.hits++
+						} else {
+							res.misses++
+						}
+					}
+					mu.Unlock()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	return res
+}
+
+// singleReplicaBaseline measures the warm hit rate of the identical
+// workload against one standalone (clusterless) replica.
+func singleReplicaBaseline(bin string, workers int, ops []benchOp, clients, rounds int) float64 {
+	addr := freeAddr()
+	proc := startReplica(bin, addr, "-workers", strconv.Itoa(workers))
+	defer stopReplica(proc)
+	target := "http://" + addr
+	waitHealthyAt(target, 30*time.Second)
+
+	// Sequential cold pass, then the same warm phase the fleet ran.
+	for _, op := range ops {
+		if _, _, _, err := timedPostTo(target, op.path, map[string]any{"gate": op.gate}); err != nil {
+			fatal(fmt.Errorf("baseline cold %s %s: %w", op.path, op.gate, err))
+		}
+	}
+	warm := runPhase([]string{target}, ops, clients, rounds)
+	if total := warm.hits + warm.misses; total > 0 {
+		return float64(warm.hits) / float64(total)
+	}
+	return 0
+}
+
+// waitFleetFormed blocks until every replica reports a full ring with all
+// peers alive, so the storm measures a formed cluster, not a forming one.
+func waitFleetFormed(targets []string, n int, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		formed := 0
+		for _, t := range targets {
+			body, err := rawGetFrom(t, "/healthz")
+			if err != nil {
+				break
+			}
+			var h struct {
+				Cluster struct {
+					RingMembers int `json:"ring_members"`
+					Members     []struct {
+						Alive bool `json:"alive"`
+					} `json:"members"`
+				} `json:"cluster"`
+			}
+			if json.Unmarshal([]byte(body), &h) != nil || h.Cluster.RingMembers != n {
+				break
+			}
+			alive := true
+			for _, m := range h.Cluster.Members {
+				alive = alive && m.Alive
+			}
+			if !alive {
+				break
+			}
+			formed++
+		}
+		if formed == len(targets) {
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	fatal(fmt.Errorf("fleet never formed a full ring of %d within %s", n, timeout))
+}
+
+// buildDaemonBinary compiles bestagond once into a temp dir so fleet mode
+// can boot many replicas from the same binary.
+func buildDaemonBinary() (string, func()) {
+	tmp, err := os.MkdirTemp("", "benchserve-fleet-*")
+	if err != nil {
+		fatal(err)
+	}
+	bin := filepath.Join(tmp, "bestagond")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/bestagond")
+	build.Stdout, build.Stderr = os.Stderr, os.Stderr
+	if err := build.Run(); err != nil {
+		os.RemoveAll(tmp)
+		fatal(fmt.Errorf("build: %w", err))
+	}
+	return bin, func() { os.RemoveAll(tmp) }
+}
+
+func startReplica(bin, addr string, extra ...string) *exec.Cmd {
+	args := append([]string{"-addr", addr, "-log-level", "warn"}, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
+	if err := cmd.Start(); err != nil {
+		fatal(err)
+	}
+	return cmd
+}
+
+func stopReplica(cmd *exec.Cmd) {
+	if cmd == nil || cmd.Process == nil {
+		return
+	}
+	cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() { cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+	}
+}

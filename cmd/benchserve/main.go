@@ -65,13 +65,19 @@ var base string
 
 func main() {
 	var (
-		out     = flag.String("o", "BENCH_service.json", "output report file")
-		addr    = flag.String("addr", "", "benchmark a running daemon at this address instead of spawning one")
-		clients = flag.Int("clients", 8, "concurrent client goroutines for the warm phase")
-		rounds  = flag.Int("rounds", 5, "warm-phase passes over the gate set per client")
-		workers = flag.Int("workers", 4, "worker pool size for the spawned daemon")
+		out      = flag.String("o", "BENCH_service.json", "output report file")
+		addr     = flag.String("addr", "", "benchmark a running daemon at this address instead of spawning one")
+		clients  = flag.Int("clients", 8, "concurrent client goroutines for the warm phase")
+		rounds   = flag.Int("rounds", 5, "warm-phase passes over the gate set per client")
+		workers  = flag.Int("workers", 4, "worker pool size for the spawned daemon")
+		replicas = flag.Int("replicas", 1, "spawn a fleet of N clustered replicas and measure fleet-wide caching (see BENCH_fleet.json)")
 	)
 	flag.Parse()
+
+	if *replicas > 1 {
+		runFleet(*replicas, *clients, *rounds, *workers, *out)
+		return
+	}
 
 	if *addr != "" {
 		base = "http://" + *addr
@@ -289,10 +295,12 @@ func freeAddr() string {
 	return addr
 }
 
-func waitHealthy(timeout time.Duration) {
+func waitHealthy(timeout time.Duration) { waitHealthyAt(base, timeout) }
+
+func waitHealthyAt(target string, timeout time.Duration) {
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
-		resp, err := http.Get(base + "/healthz")
+		resp, err := http.Get(target + "/healthz")
 		if err == nil {
 			resp.Body.Close()
 			if resp.StatusCode == http.StatusOK {
@@ -301,11 +309,13 @@ func waitHealthy(timeout time.Duration) {
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
-	fatal(fmt.Errorf("daemon never became healthy at %s", base))
+	fatal(fmt.Errorf("daemon never became healthy at %s", target))
 }
 
-func listGates() []string {
-	resp, err := http.Get(base + "/v1/gates")
+func listGates() []string { return listGatesAt(base) }
+
+func listGatesAt(target string) []string {
+	resp, err := http.Get(target + "/v1/gates")
 	if err != nil {
 		fatal(err)
 	}
@@ -322,12 +332,16 @@ func listGates() []string {
 // timedPost sends a JSON request and returns (elapsed ms, cache hit,
 // degraded result).
 func timedPost(path string, payload any) (float64, bool, bool, error) {
+	return timedPostTo(base, path, payload)
+}
+
+func timedPostTo(target, path string, payload any) (float64, bool, bool, error) {
 	b, err := json.Marshal(payload)
 	if err != nil {
 		return 0, false, false, err
 	}
 	start := time.Now()
-	resp, err := http.Post(base+path, "application/json", bytes.NewReader(b))
+	resp, err := http.Post(target+path, "application/json", bytes.NewReader(b))
 	if err != nil {
 		return 0, false, false, err
 	}
@@ -340,8 +354,10 @@ func timedPost(path string, payload any) (float64, bool, bool, error) {
 	return elapsed, resp.Header.Get("X-Cache") == "hit", resp.Header.Get("X-Degraded") == "true", nil
 }
 
-func rawGet(path string) (string, error) {
-	resp, err := http.Get(base + path)
+func rawGet(path string) (string, error) { return rawGetFrom(base, path) }
+
+func rawGetFrom(target, path string) (string, error) {
+	resp, err := http.Get(target + path)
 	if err != nil {
 		return "", err
 	}
@@ -354,6 +370,30 @@ func rawGet(path string) (string, error) {
 		return "", fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
 	}
 	return string(b), nil
+}
+
+// scrapeSum sums every sample of a metric family across its label sets.
+func scrapeSum(exposition, family string) float64 {
+	var sum float64
+	for _, line := range strings.Split(exposition, "\n") {
+		var rest string
+		switch {
+		case strings.HasPrefix(line, family+" "):
+			rest = line[len(family)+1:]
+		case strings.HasPrefix(line, family+"{"):
+			i := strings.LastIndex(line, "} ")
+			if i < 0 {
+				continue
+			}
+			rest = line[i+2:]
+		default:
+			continue
+		}
+		if v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64); err == nil {
+			sum += v
+		}
+	}
+	return sum
 }
 
 func fatal(err error) {

@@ -20,14 +20,23 @@
 //	POST   /v1/flow            run the full flow (sync, or async with job id)
 //	POST   /v1/simulate        ground-state simulate a gate tile or dot list
 //	POST   /v1/gates/validate  validate a library tile against its truth table
+//	POST   /v1/batch           canonicalize, deduplicate, and fan out sub-requests in one job
 //	GET    /v1/gates           list library variant keys
 //	GET    /v1/jobs/{id}       job status (and result once done)
 //	GET    /v1/jobs/{id}/trace per-job stage timeline (spans + attributes)
 //	DELETE /v1/jobs/{id}       cancel a job
 //	GET    /v1/traces/{id}     retained flight-recorder trace by job id
 //	GET    /debug/flightrecorder  flight-recorder summary (retained trace headers)
-//	GET    /healthz            liveness + latency/error snapshot (incl. SLO burn rates)
+//	GET    /healthz            liveness + saturation/latency/SLO snapshot (and cluster state)
 //	GET    /metrics            Prometheus text exposition
+//	GET/PUT /internal/cache/{key}  peer-cache protocol (fleet mode; secret or loopback only)
+//
+// Fleet mode (-peers) turns a set of replicas into a cluster: consistent
+// hashing over the canonical cache keys routes each request to its owner
+// replica, local misses consult the owner's cache before solving, and
+// concurrent identical requests fleet-wide coalesce onto one solve:
+//
+//	bestagond -addr :8711 -peers 127.0.0.1:8712,127.0.0.1:8713 -cluster-secret s3cret
 //
 // On SIGINT/SIGTERM the listener stops accepting requests and in-flight
 // jobs are drained; jobs still running when the grace period expires are
@@ -40,6 +49,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
 	"os"
@@ -48,6 +58,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/obs/obslog"
@@ -80,6 +91,11 @@ func main() {
 		degradeMargin = flag.Duration("degrade-margin", sim.DefaultDegradeMargin, "budget reserved for cheaper fallback engines under a job deadline (solver degradation ladder)")
 		sloShort      = flag.Duration("slo-short-window", 5*time.Minute, "short SLO burn-rate window")
 		sloLong       = flag.Duration("slo-long-window", time.Hour, "long SLO burn-rate window")
+
+		peers         = flag.String("peers", "", "comma-separated peer addresses (host:port) for fleet mode; empty = single replica")
+		selfAddr      = flag.String("self", "", "this replica's advertised address (default 127.0.0.1<addr> when -addr is :port)")
+		clusterSecret = flag.String("cluster-secret", "", "shared secret guarding the peer-cache protocol (also via BESTAGOND_CLUSTER_SECRET); empty = loopback peers only")
+		probeInterval = flag.Duration("probe-interval", time.Second, "peer health-probe period in fleet mode")
 	)
 	flag.Parse()
 
@@ -108,6 +124,37 @@ func main() {
 		logger.Warn("faults_armed", obslog.F("spec", spec), obslog.F("seed", *faultSeed))
 	}
 
+	// Fleet mode: a static peer list makes this replica part of a cluster
+	// with consistent-hash ownership, a peer cache tier, and fleet-wide
+	// single-flight deduplication (see internal/cluster).
+	var clusterCfg *cluster.Config
+	if *peers != "" {
+		self := *selfAddr
+		if self == "" {
+			if strings.HasPrefix(*addr, ":") {
+				self = "127.0.0.1" + *addr
+			} else if host, _, err := net.SplitHostPort(*addr); err == nil && host != "" && host != "0.0.0.0" && host != "::" {
+				self = *addr
+			} else {
+				fatal(fmt.Errorf("-self is required when -addr (%q) has no concrete host", *addr))
+			}
+		}
+		secret := *clusterSecret
+		if secret == "" {
+			secret = os.Getenv("BESTAGOND_CLUSTER_SECRET")
+		}
+		clusterCfg = &cluster.Config{
+			Self:          self,
+			Peers:         strings.Split(*peers, ","),
+			Secret:        secret,
+			ProbeInterval: *probeInterval,
+		}
+		logger.Info("cluster_enabled",
+			obslog.F("self", self),
+			obslog.F("peers", *peers),
+			obslog.F("secured", secret != ""))
+	}
+
 	srv, err := service.New(service.Config{
 		Workers:       *workers,
 		QueueDepth:    *queueDepth,
@@ -121,6 +168,7 @@ func main() {
 		MaxRetries:    *maxRetries,
 		DegradeMargin: *degradeMargin,
 		SLOWindows:    []time.Duration{*sloShort, *sloLong},
+		Cluster:       clusterCfg,
 	})
 	if err != nil {
 		fatal(err)

@@ -41,12 +41,18 @@ type FlowCache struct {
 	// installs a ResilientDisk here so transient I/O errors are retried
 	// and repeated failures degrade to memory-only caching.
 	Disk DiskLayer
+	// Peer is nil outside a fleet; when set, a local miss consults the
+	// key's owner replica before solving, and cold results are pushed to
+	// the owner. The service wraps it in the same Resilient breaker as
+	// the disk, so a flapping peer degrades to local-only caching.
+	Peer Layer
 }
 
 // Source values reported by Run.
 const (
 	SourceMem    = "mem"
 	SourceDisk   = "disk"
+	SourcePeer   = "peer"
 	SourceMiss   = "miss"
 	SourceBypass = "bypass"
 )
@@ -81,6 +87,18 @@ func (fc *FlowCache) Run(ctx context.Context, spec *network.XAG, opts core.Optio
 				}
 			}
 		}
+		if fc.Peer != nil {
+			// Peer errors fall through to a cold run, same as disk errors.
+			if b, ok, err := fc.Peer.Get(key); err == nil && ok {
+				if art, err := decodeArtifact(b); err == nil {
+					fc.Mem.Put(key, b)
+					if fc.Disk != nil {
+						_ = fc.Disk.Put(key, b)
+					}
+					return art, SourcePeer, nil
+				}
+			}
+		}
 	}
 
 	art, err := RunFlow(ctx, spec, opts, withSQD, withReport)
@@ -104,6 +122,11 @@ func (fc *FlowCache) Run(ctx context.Context, spec *network.XAG, opts core.Optio
 	if fc.Disk != nil {
 		// Persistent layer failures degrade to memory-only caching.
 		_ = fc.Disk.Put(key, b)
+	}
+	if fc.Peer != nil {
+		// Push the cold result to the key's owner so the whole fleet warms
+		// from one solve. Degraded artifacts never reach this point.
+		_ = fc.Peer.Put(key, b)
 	}
 	return art, SourceMiss, nil
 }

@@ -131,6 +131,30 @@ func (c *LRU) Get(key Key) ([]byte, bool) {
 	return val, true
 }
 
+// Contains reports whether key is present without promoting the entry or
+// touching the hit/miss counters — used by cluster routing to decide
+// whether a request can be served warm locally.
+func (c *LRU) Contains(key Key) bool {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	_, ok := s.idx[key]
+	s.mu.Unlock()
+	return ok
+}
+
+// Peek returns the cached value without promoting the entry or touching
+// the hit/miss counters — used by the peer-cache endpoint so cross-replica
+// fetches don't distort local hit-rate telemetry.
+func (c *LRU) Peek(key Key) ([]byte, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.idx[key]; ok {
+		return el.Value.(*lruEntry).val, true
+	}
+	return nil, false
+}
+
 // Put stores a copy of val under key, evicting least-recently-used entries
 // of the same shard until the shard fits its byte budget. Values larger
 // than a whole shard's budget are not stored.

@@ -9,13 +9,18 @@ import (
 	"repro/internal/obs/obslog"
 )
 
-// DiskLayer is the persistent cache interface FlowCache talks to: the raw
-// Disk store, or a ResilientDisk wrapping it with retries and a circuit
-// breaker. Get reports a clean miss as (nil, false, nil).
-type DiskLayer interface {
+// Layer is the interface every cache tier behind the in-memory LRU
+// implements: the raw Disk store, a remote peer layer, or a Resilient
+// wrapper adding retries and a circuit breaker to either. Get reports a
+// clean miss as (nil, false, nil).
+type Layer interface {
 	Get(key Key) ([]byte, bool, error)
 	Put(key Key, val []byte) error
 }
+
+// DiskLayer is the historical name for Layer, kept for the persistent
+// tier's call sites.
+type DiskLayer = Layer
 
 // BreakerState is the circuit breaker's position.
 type BreakerState int32
@@ -42,8 +47,12 @@ func (s BreakerState) String() string {
 	}
 }
 
-// ResilientOptions tunes a ResilientDisk.
+// ResilientOptions tunes a Resilient wrapper.
 type ResilientOptions struct {
+	// Name labels the wrapped layer in metric families
+	// (cache/<name>/breaker_state, ...) and log events
+	// (cache_<name>_breaker_open, ...). Default "disk".
+	Name string
 	// MaxRetries is how many times a failed Get/Put is retried before the
 	// failure counts against the breaker (default 2; negative disables
 	// retries).
@@ -65,14 +74,14 @@ type ResilientOptions struct {
 	Logger *obslog.Logger
 }
 
-// ResilientDisk wraps a DiskLayer with exponential-backoff retries for
-// transient I/O failures and a circuit breaker that degrades the service
-// to memory-only caching after repeated failures. While the breaker is
+// Resilient wraps any Layer with exponential-backoff retries for
+// transient failures and a circuit breaker that degrades the service to
+// the remaining cache tiers after repeated failures. While the breaker is
 // open every operation short-circuits (Get reports a miss, Put drops the
 // write); after a cooldown it half-opens and lets a single probe through —
 // success closes it, failure re-opens it for another cooldown.
-type ResilientDisk struct {
-	inner DiskLayer
+type Resilient struct {
+	inner Layer
 	opts  ResilientOptions
 
 	now   func() time.Time      // test hook
@@ -90,9 +99,22 @@ type ResilientDisk struct {
 	log                                   *obslog.Logger
 }
 
-// NewResilientDisk wraps inner. Metrics are registered immediately so the
+// ResilientDisk is the historical name for Resilient, from when the disk
+// was the only wrappable tier.
+type ResilientDisk = Resilient
+
+// NewResilientDisk wraps the persistent tier (Name "disk").
+func NewResilientDisk(inner Layer, opts ResilientOptions) *Resilient {
+	opts.Name = "disk"
+	return NewResilient(inner, opts)
+}
+
+// NewResilient wraps inner. Metrics are registered immediately so the
 // breaker gauges are present in /metrics from process start.
-func NewResilientDisk(inner DiskLayer, opts ResilientOptions) *ResilientDisk {
+func NewResilient(inner Layer, opts ResilientOptions) *Resilient {
+	if opts.Name == "" {
+		opts.Name = "disk"
+	}
 	if opts.MaxRetries == 0 {
 		opts.MaxRetries = 2
 	}
@@ -112,17 +134,17 @@ func NewResilientDisk(inner DiskLayer, opts ResilientOptions) *ResilientDisk {
 		opts.Seed = 1
 	}
 	tr := opts.Tracer
-	r := &ResilientDisk{
+	r := &Resilient{
 		inner:       inner,
 		opts:        opts,
 		now:         time.Now,
 		sleep:       time.Sleep,
 		rng:         rand.New(rand.NewSource(opts.Seed)),
-		stateGauge:  tr.Gauge("cache/disk/breaker_state"),
-		trips:       tr.Counter("cache/disk/breaker_trips_total"),
-		retries:     tr.Counter("cache/disk/retries_total"),
-		ioErrors:    tr.Counter("cache/disk/io_errors_total"),
-		shortCircts: tr.Counter("cache/disk/short_circuits_total"),
+		stateGauge:  tr.Gauge("cache/" + opts.Name + "/breaker_state"),
+		trips:       tr.Counter("cache/" + opts.Name + "/breaker_trips_total"),
+		retries:     tr.Counter("cache/" + opts.Name + "/retries_total"),
+		ioErrors:    tr.Counter("cache/" + opts.Name + "/io_errors_total"),
+		shortCircts: tr.Counter("cache/" + opts.Name + "/short_circuits_total"),
 		log:         opts.Logger,
 	}
 	r.stateGauge.Set(float64(BreakerClosed))
@@ -131,7 +153,7 @@ func NewResilientDisk(inner DiskLayer, opts ResilientOptions) *ResilientDisk {
 
 // State returns the breaker's current position (cooldown expiry is only
 // observed by the next operation, not by State).
-func (r *ResilientDisk) State() BreakerState {
+func (r *Resilient) State() BreakerState {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.state
@@ -139,7 +161,7 @@ func (r *ResilientDisk) State() BreakerState {
 
 // allow decides whether an operation may reach the disk. It performs the
 // open→half-open transition when the cooldown has elapsed.
-func (r *ResilientDisk) allow() bool {
+func (r *Resilient) allow() bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	switch r.state {
@@ -162,7 +184,7 @@ func (r *ResilientDisk) allow() bool {
 }
 
 // onResult records an operation outcome and drives the state machine.
-func (r *ResilientDisk) onResult(failed bool) {
+func (r *Resilient) onResult(failed bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	wasProbe := r.state == BreakerHalfOpen
@@ -186,7 +208,7 @@ func (r *ResilientDisk) onResult(failed bool) {
 
 // setStateLocked transitions the breaker, updating the gauge and logging
 // the change. Caller holds r.mu.
-func (r *ResilientDisk) setStateLocked(s BreakerState) {
+func (r *Resilient) setStateLocked(s BreakerState) {
 	if r.state == s {
 		return
 	}
@@ -195,21 +217,21 @@ func (r *ResilientDisk) setStateLocked(s BreakerState) {
 	r.stateGauge.Set(float64(s))
 	switch s {
 	case BreakerOpen:
-		r.log.Warn("cache_disk_breaker_open",
+		r.log.Warn("cache_"+r.opts.Name+"_breaker_open",
 			obslog.F("from", from.String()),
 			obslog.F("consecutive_failures", r.fails),
 			obslog.F("cooldown", r.opts.Cooldown.String()),
-			obslog.F("effect", "degraded to memory-only caching"))
+			obslog.F("effect", "layer bypassed; remaining cache tiers serve"))
 	case BreakerHalfOpen:
-		r.log.Info("cache_disk_breaker_half_open", obslog.F("from", from.String()))
+		r.log.Info("cache_"+r.opts.Name+"_breaker_half_open", obslog.F("from", from.String()))
 	case BreakerClosed:
-		r.log.Info("cache_disk_breaker_closed", obslog.F("from", from.String()))
+		r.log.Info("cache_"+r.opts.Name+"_breaker_closed", obslog.F("from", from.String()))
 	}
 }
 
 // backoff returns the delay before retry attempt n (0-based): an
 // exponential base with up to 50% deterministic jitter.
-func (r *ResilientDisk) backoff(n int) time.Duration {
+func (r *Resilient) backoff(n int) time.Duration {
 	d := r.opts.RetryBase << uint(n)
 	r.mu.Lock()
 	j := time.Duration(r.rng.Int63n(int64(d)/2 + 1))
@@ -219,7 +241,7 @@ func (r *ResilientDisk) backoff(n int) time.Duration {
 
 // Get reads through the breaker with retries. While the breaker is open
 // it reports a miss so the flow cache silently degrades to memory-only.
-func (r *ResilientDisk) Get(key Key) ([]byte, bool, error) {
+func (r *Resilient) Get(key Key) ([]byte, bool, error) {
 	if !r.allow() {
 		r.shortCircts.Inc()
 		return nil, false, nil
@@ -239,7 +261,7 @@ func (r *ResilientDisk) Get(key Key) ([]byte, bool, error) {
 
 // Put writes through the breaker with retries. While the breaker is open
 // the write is dropped (the memory layer still holds the entry).
-func (r *ResilientDisk) Put(key Key, val []byte) error {
+func (r *Resilient) Put(key Key, val []byte) error {
 	if !r.allow() {
 		r.shortCircts.Inc()
 		return nil
@@ -249,7 +271,7 @@ func (r *ResilientDisk) Put(key Key, val []byte) error {
 
 // withRetry runs op with the retry policy, then reports the final outcome
 // to the breaker.
-func (r *ResilientDisk) withRetry(op func() error) error {
+func (r *Resilient) withRetry(op func() error) error {
 	var err error
 	for attempt := 0; ; attempt++ {
 		err = op()

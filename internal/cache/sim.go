@@ -26,6 +26,10 @@ type CachedSolver struct {
 	// distribution of actual ground-state computation, separated from the
 	// (near-free) cache-hit path.
 	Tracer *obs.Tracer
+	// Peer is nil outside a fleet; when set, a local miss consults the
+	// key's owner replica before solving, and non-degraded cold results
+	// are pushed to the owner.
+	Peer Layer
 }
 
 var _ sim.GroundStateSolver = (*CachedSolver)(nil)
@@ -54,6 +58,15 @@ func (c *CachedSolver) SolveTrack(e *sim.Engine, opts sim.SolveOptions) (sim.Sol
 		// A decode failure means a corrupted or incompatible entry; fall
 		// through and recompute (the Put below overwrites it).
 	}
+	if c.Peer != nil {
+		// Peer errors fall through to a local solve, same as a miss.
+		if b, ok, err := c.Peer.Get(key); err == nil && ok {
+			if sol, err := decodeSolution(b, order); err == nil {
+				c.Cache.Put(key, b)
+				return sol, true, nil
+			}
+		}
+	}
 	start := time.Now()
 	sol, err := c.Inner.Solve(e, opts)
 	if err != nil {
@@ -65,7 +78,11 @@ func (c *CachedSolver) SolveTrack(e *sim.Engine, opts sim.SolveOptions) (sim.Sol
 		// A degraded solution reflects this call's deadline pressure, not
 		// the problem content; caching it would hand reduced-quality answers
 		// to well-budgeted future callers under the same key.
-		c.Cache.Put(key, encodeSolution(sol, order))
+		enc := encodeSolution(sol, order)
+		c.Cache.Put(key, enc)
+		if c.Peer != nil {
+			_ = c.Peer.Put(key, enc)
+		}
 	}
 	return sol, false, nil
 }

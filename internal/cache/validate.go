@@ -7,17 +7,28 @@ import (
 	"repro/internal/sim"
 )
 
-// CachedValidate memoizes standalone gate validation through the LRU. The
-// second return reports whether the result came from the cache. Only
-// successful validations are stored (a failed solver lookup is returned
-// uncached), and the cached value is the full Validation including the
-// per-pattern outputs and the minimum energy gap.
-func CachedValidate(lru *LRU, d *gatelib.Design, truth func(uint32) uint32, params sim.Params, opts gatelib.ValidateOptions) (gatelib.Validation, bool, error) {
+// CachedValidate memoizes standalone gate validation through the LRU and,
+// in a fleet, the peer layer (nil outside one). The second return reports
+// whether the result came from a cache. Only successful validations are
+// stored (a failed solver lookup is returned uncached), and the cached
+// value is the full Validation including the per-pattern outputs and the
+// minimum energy gap.
+func CachedValidate(lru *LRU, peer Layer, d *gatelib.Design, truth func(uint32) uint32, params sim.Params, opts gatelib.ValidateOptions) (gatelib.Validation, bool, error) {
 	key := ValidationKey(d, truth, params, opts.Solver)
 	if b, ok := lru.Get(key); ok {
 		var v gatelib.Validation
 		if err := json.Unmarshal(b, &v); err == nil {
 			return v, true, nil
+		}
+	}
+	if peer != nil {
+		// Peer errors fall through to a local validation, same as a miss.
+		if b, ok, err := peer.Get(key); err == nil && ok {
+			var v gatelib.Validation
+			if err := json.Unmarshal(b, &v); err == nil {
+				lru.Put(key, b)
+				return v, true, nil
+			}
 		}
 	}
 	v, err := gatelib.ValidateWith(d, truth, params, opts)
@@ -26,6 +37,9 @@ func CachedValidate(lru *LRU, d *gatelib.Design, truth func(uint32) uint32, para
 	}
 	if b, err := json.Marshal(v); err == nil {
 		lru.Put(key, b)
+		if peer != nil {
+			_ = peer.Put(key, b)
+		}
 	}
 	return v, false, nil
 }

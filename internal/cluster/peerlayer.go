@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"context"
+
+	"repro/internal/cache"
+)
+
+// PeerLayer adapts the peer-cache protocol to cache.Layer, so the service
+// can stack it under memory and disk and wrap it in the same resilient
+// breaker that guards the disk.
+//
+// Get consults up to two ring owners for the key (the owner, then its
+// successor — the member that covered the key while the owner was down),
+// skipping this replica itself. A clean miss on one owner falls through to
+// the next; a transport error is returned so the breaker above sees it.
+// Put pushes the entry to the first live owner that is not this replica;
+// when this replica owns the key, Put is a no-op (the local layers already
+// hold it, and peers will fetch it from here on demand).
+type PeerLayer struct {
+	Node *Node
+}
+
+var _ cache.Layer = (*PeerLayer)(nil)
+
+// NewPeerLayer wraps a node.
+func NewPeerLayer(n *Node) *PeerLayer { return &PeerLayer{Node: n} }
+
+// Get fetches key from its owner replica(s).
+func (p *PeerLayer) Get(key cache.Key) ([]byte, bool, error) {
+	n := p.Node
+	owners := n.Owners(string(key), 2)
+	var firstErr error
+	for _, o := range owners {
+		if o == n.Self() || !n.Alive(o) {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), n.cfg.PeerTimeout)
+		b, ok, err := n.CacheGet(ctx, o, key)
+		cancel()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if ok {
+			return b, true, nil
+		}
+	}
+	return nil, false, firstErr
+}
+
+// Put pushes key's bytes to its owner replica (no-op when self-owned).
+func (p *PeerLayer) Put(key cache.Key, val []byte) error {
+	n := p.Node
+	owners := n.Owners(string(key), 2)
+	for _, o := range owners {
+		if o == n.Self() {
+			return nil // we own it; peers fetch from us
+		}
+		if !n.Alive(o) {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), n.cfg.PeerTimeout)
+		err := n.CachePut(ctx, o, key, val)
+		cancel()
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringMembers(n int) []string {
+	m := make([]string, n)
+	for i := range m {
+		m[i] = fmt.Sprintf("10.0.0.%d:8711", i+1)
+	}
+	return m
+}
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("sim:%064x", i)
+	}
+	return keys
+}
+
+// TestRingDistribution checks load balance: with 128 virtual nodes per
+// member, every member's share of a large key set must be within a
+// factor of two of fair share for fleets of 2-8 replicas.
+func TestRingDistribution(t *testing.T) {
+	keys := ringKeys(10000)
+	for n := 2; n <= 8; n++ {
+		r := NewRing(ringMembers(n), 0)
+		counts := map[string]int{}
+		for _, k := range keys {
+			counts[r.Owner(k)]++
+		}
+		if len(counts) != n {
+			t.Fatalf("n=%d: only %d members own keys", n, len(counts))
+		}
+		fair := len(keys) / n
+		for m, c := range counts {
+			if c < fair/2 || c > fair*2 {
+				t.Errorf("n=%d: member %s owns %d keys, fair share %d", n, m, c, fair)
+			}
+		}
+	}
+}
+
+// TestRingMinimalRemapping checks the consistent-hashing contract: when a
+// member joins or leaves, only the keys that must move do. A leave moves
+// exactly the departed member's keys; a join steals roughly 1/(n+1) of
+// the keyspace and never reshuffles keys between surviving members.
+func TestRingMinimalRemapping(t *testing.T) {
+	keys := ringKeys(10000)
+	members := ringMembers(4)
+	before := NewRing(members, 0)
+
+	t.Run("leave", func(t *testing.T) {
+		gone := members[1]
+		after := NewRing(append(append([]string{}, members[:1]...), members[2:]...), 0)
+		for _, k := range keys {
+			was, is := before.Owner(k), after.Owner(k)
+			if was != gone && was != is {
+				t.Fatalf("key %s moved %s -> %s though neither is the departed member", k, was, is)
+			}
+			if was == gone && is == gone {
+				t.Fatalf("key %s still owned by departed member", k)
+			}
+		}
+	})
+
+	t.Run("join", func(t *testing.T) {
+		joined := "10.0.0.99:8711"
+		after := NewRing(append(append([]string{}, members...), joined), 0)
+		moved := 0
+		for _, k := range keys {
+			was, is := before.Owner(k), after.Owner(k)
+			if was != is {
+				if is != joined {
+					t.Fatalf("key %s moved %s -> %s; only the joiner may gain keys", k, was, is)
+				}
+				moved++
+			}
+		}
+		fair := len(keys) / 5
+		if moved < fair/2 || moved > fair*2 {
+			t.Errorf("join moved %d keys; want about fair share %d", moved, fair)
+		}
+	})
+}
+
+// TestRingGoldenOwnership pins ownership of fixed keys to fixed members:
+// SHA-256 positioning must be stable across processes, platforms, and
+// releases, because every replica computes ownership independently.
+func TestRingGoldenOwnership(t *testing.T) {
+	r := NewRing([]string{"a:1", "b:2", "c:3"}, 0)
+	golden := map[string]string{
+		"sim:0000000000000000000000000000000000000000000000000000000000000000":  "b:2",
+		"sim:00000000000000000000000000000000000000000000000000000000000000ff":  "c:3",
+		"flow:4242424242424242424242424242424242424242424242424242424242424242": "c:3",
+		"gate:deadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeef": "b:2",
+		"xag:0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef":  "b:2",
+	}
+	for k, want := range golden {
+		if got := r.Owner(k); got != want {
+			t.Errorf("Owner(%s) = %s, want %s (ownership hash changed: peers on "+
+				"different builds would disagree about key placement)", k, got, want)
+		}
+	}
+}
+
+// TestRingOwners checks the successor list: distinct members, owner
+// first, bounded by the member count.
+func TestRingOwners(t *testing.T) {
+	members := ringMembers(3)
+	r := NewRing(members, 0)
+	for _, k := range ringKeys(100) {
+		owners := r.Owners(k, 2)
+		if len(owners) != 2 {
+			t.Fatalf("Owners(%s, 2) = %v", k, owners)
+		}
+		if owners[0] != r.Owner(k) {
+			t.Fatalf("Owners(%s)[0] = %s != Owner %s", k, owners[0], r.Owner(k))
+		}
+		if owners[0] == owners[1] {
+			t.Fatalf("Owners(%s) repeats %s", k, owners[0])
+		}
+	}
+	if got := r.Owners("sim:00", 10); len(got) != len(members) {
+		t.Fatalf("Owners capped at %d, want member count %d", len(got), len(members))
+	}
+	if got := NewRing(nil, 0).Owners("sim:00", 2); got != nil {
+		t.Fatalf("empty ring Owners = %v, want nil", got)
+	}
+}
+
+// TestRingDeterministicOrder checks that member order at construction
+// does not affect ownership.
+func TestRingDeterministicOrder(t *testing.T) {
+	a := NewRing([]string{"x:1", "y:2", "z:3"}, 0)
+	b := NewRing([]string{"z:3", "x:1", "y:2", "x:1"}, 0)
+	for _, k := range ringKeys(500) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("ownership depends on construction order for %s", k)
+		}
+	}
+	if a.Size() != 3 || b.Size() != 3 {
+		t.Fatalf("sizes %d, %d; want 3 (duplicates collapsed)", a.Size(), b.Size())
+	}
+}

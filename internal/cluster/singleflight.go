@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+)
+
+// Group coalesces concurrent calls with the same key onto one execution.
+//
+// Unlike the classic singleflight, the function runs in its own goroutine
+// under a context owned by the group, not the first caller's context: a
+// canceled caller — including the one that started the work — simply
+// leaves, and the execution keeps running for the remaining waiters. The
+// work context is canceled only when the last participant has left, so
+// nobody pays for an answer nobody wants anymore.
+type Group struct {
+	mu sync.Mutex
+	m  map[string]*call
+}
+
+type call struct {
+	done    chan struct{} // closed when fn returns
+	cancel  context.CancelFunc
+	waiters int // participants still waiting; guarded by Group.mu
+
+	val any
+	err error
+}
+
+// Result carries a completed call's outcome.
+type Result struct {
+	Val    any
+	Err    error
+	Shared bool // true when this caller joined an execution started by another
+}
+
+// Do executes fn for key, coalescing with any in-flight execution of the
+// same key. It returns fn's result, whether the result was shared with
+// other callers, and an error. If ctx is canceled while waiting, Do
+// returns ctx.Err() immediately; the execution continues for any other
+// waiters and is abandoned (its context canceled) only when the last
+// waiter leaves.
+//
+// fn must not panic-propagate: it runs on a group-owned goroutine, so a
+// panic there would crash the process. Wrap recovery inside fn.
+func (g *Group) Do(ctx context.Context, key string, fn func(ctx context.Context) (any, error)) (any, bool, error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*call)
+	}
+	c, joined := g.m[key]
+	if !joined {
+		// The run detaches from the starter's cancellation (so a departing
+		// starter doesn't fail the others) but keeps its deadline: the
+		// deadline is a resource bound that downstream degradation ladders
+		// read, while cancellation is just one caller losing interest.
+		parent := context.WithoutCancel(ctx)
+		var runCtx context.Context
+		var cancel context.CancelFunc
+		if d, ok := ctx.Deadline(); ok {
+			runCtx, cancel = context.WithDeadline(parent, d)
+		} else {
+			runCtx, cancel = context.WithCancel(parent)
+		}
+		c = &call{done: make(chan struct{}), cancel: cancel}
+		g.m[key] = c
+		go func() {
+			val, err := fn(runCtx)
+			g.mu.Lock()
+			// Only this call's entry may be deleted: a late joiner after
+			// completion would have created a new entry under the same key.
+			if g.m[key] == c {
+				delete(g.m, key)
+			}
+			c.val, c.err = val, err
+			g.mu.Unlock()
+			close(c.done)
+			cancel()
+		}()
+	}
+	c.waiters++
+	g.mu.Unlock()
+
+	select {
+	case <-c.done:
+		g.mu.Lock()
+		c.waiters--
+		g.mu.Unlock()
+		return c.val, joined, c.err
+	case <-ctx.Done():
+		g.mu.Lock()
+		c.waiters--
+		last := c.waiters == 0
+		if last {
+			// Last participant gone: abandon the execution and unpublish the
+			// key so a fresh caller starts a fresh execution instead of
+			// joining a canceled one.
+			if g.m[key] == c {
+				delete(g.m, key)
+			}
+		}
+		g.mu.Unlock()
+		if last {
+			c.cancel()
+		}
+		return nil, joined, ctx.Err()
+	}
+}
+
+// InFlight reports whether an execution for key is currently running.
+func (g *Group) InFlight(key string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_, ok := g.m[key]
+	return ok
+}

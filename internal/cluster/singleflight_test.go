@@ -1,0 +1,245 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSingleflightDedup: N concurrent callers of the same key trigger
+// exactly one execution, and all receive the identical value.
+func TestSingleflightDedup(t *testing.T) {
+	var g Group
+	var execs atomic.Int64
+	release := make(chan struct{})
+
+	const n = 32
+	var wg sync.WaitGroup
+	vals := make([]any, n)
+	shared := make([]bool, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vals[i], shared[i], errs[i] = g.Do(context.Background(), "k", func(context.Context) (any, error) {
+				execs.Add(1)
+				<-release // hold every caller in flight so all must coalesce
+				return "result", nil
+			})
+		}(i)
+	}
+	// Hold the execution open until every caller has joined it, so no
+	// goroutine can arrive after completion and start a second one.
+	waitWaiters(t, &g, "k", n)
+	close(release)
+	wg.Wait()
+
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("%d executions for %d concurrent callers; want 1", got, n)
+	}
+	sharedCount := 0
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if vals[i] != "result" {
+			t.Fatalf("caller %d got %v", i, vals[i])
+		}
+		if shared[i] {
+			sharedCount++
+		}
+	}
+	if sharedCount != n-1 {
+		t.Fatalf("%d callers reported shared; want %d (everyone but the starter)", sharedCount, n-1)
+	}
+}
+
+// TestSingleflightSequential: after an execution completes, the next call
+// runs fresh instead of reusing the stale result.
+func TestSingleflightSequential(t *testing.T) {
+	var g Group
+	for i := 0; i < 3; i++ {
+		v, shared, err := g.Do(context.Background(), "k", func(context.Context) (any, error) {
+			return i, nil
+		})
+		if err != nil || shared || v != i {
+			t.Fatalf("call %d: v=%v shared=%v err=%v", i, v, shared, err)
+		}
+	}
+}
+
+// TestSingleflightLeaderCancelHandsOff: the caller that started the
+// execution cancels and leaves, but the execution keeps running and the
+// remaining waiter still gets the result.
+func TestSingleflightLeaderCancelHandsOff(t *testing.T) {
+	var g Group
+	release := make(chan struct{})
+	var execs atomic.Int64
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(leaderCtx, "k", func(ctx context.Context) (any, error) {
+			execs.Add(1)
+			select {
+			case <-release:
+				return "ok", nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		})
+		leaderDone <- err
+	}()
+	waitInFlight(t, &g, "k")
+
+	followerDone := make(chan struct{})
+	var followerVal any
+	var followerErr error
+	go func() {
+		defer close(followerDone)
+		followerVal, _, followerErr = g.Do(context.Background(), "k", func(context.Context) (any, error) {
+			execs.Add(1)
+			return "second execution", nil
+		})
+	}()
+	// Cancel the leader only once the follower has joined the call.
+	waitWaiters(t, &g, "k", 2)
+	cancelLeader()
+	if err := <-leaderDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled leader got %v; want context.Canceled", err)
+	}
+
+	close(release)
+	<-followerDone
+	if followerErr != nil {
+		t.Fatalf("follower: %v", followerErr)
+	}
+	if followerVal != "ok" {
+		t.Fatalf("follower got %v; want the original execution's result", followerVal)
+	}
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("%d executions; the leader's departure must not restart the work", got)
+	}
+}
+
+// TestSingleflightAllCancelAbandons: when every waiter leaves, the work
+// context is canceled and the key is unpublished so the next caller
+// starts fresh.
+func TestSingleflightAllCancelAbandons(t *testing.T) {
+	var g Group
+	started := make(chan struct{})
+	abandoned := make(chan struct{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(ctx, "k", func(runCtx context.Context) (any, error) {
+			close(started)
+			<-runCtx.Done() // must fire once the last waiter leaves
+			close(abandoned)
+			return nil, runCtx.Err()
+		})
+		done <- err
+	}()
+	<-started
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v; want context.Canceled", err)
+	}
+	select {
+	case <-abandoned:
+	case <-time.After(2 * time.Second):
+		t.Fatal("work context never canceled after the last waiter left")
+	}
+	// The key must be free for a fresh execution immediately.
+	v, _, err := g.Do(context.Background(), "k", func(context.Context) (any, error) {
+		return "fresh", nil
+	})
+	if err != nil || v != "fresh" {
+		t.Fatalf("fresh call after abandon: v=%v err=%v", v, err)
+	}
+}
+
+// TestSingleflightPreservesDeadline: the detached work context keeps the
+// starter's deadline — it is a resource bound, not caller interest.
+func TestSingleflightPreservesDeadline(t *testing.T) {
+	var g Group
+	deadline := time.Now().Add(time.Hour)
+	ctx, cancel := context.WithDeadline(context.Background(), deadline)
+	defer cancel()
+	_, _, err := g.Do(ctx, "k", func(runCtx context.Context) (any, error) {
+		d, ok := runCtx.Deadline()
+		if !ok {
+			return nil, fmt.Errorf("work context lost the deadline")
+		}
+		if !d.Equal(deadline) {
+			return nil, fmt.Errorf("deadline %v; want %v", d, deadline)
+		}
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSingleflightDistinctKeys: different keys never coalesce.
+func TestSingleflightDistinctKeys(t *testing.T) {
+	var g Group
+	var execs atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := g.Do(context.Background(), fmt.Sprintf("k%d", i), func(context.Context) (any, error) {
+				execs.Add(1)
+				return i, nil
+			})
+			if err != nil || v != i {
+				t.Errorf("key k%d: v=%v err=%v", i, v, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := execs.Load(); got != 8 {
+		t.Fatalf("%d executions; want 8", got)
+	}
+}
+
+func waitInFlight(t *testing.T, g *Group, key string) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !g.InFlight(key) {
+		if time.Now().After(deadline) {
+			t.Fatal("execution never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// waitWaiters blocks until n callers are participating in key's call.
+func waitWaiters(t *testing.T, g *Group, key string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		g.mu.Lock()
+		c := g.m[key]
+		w := 0
+		if c != nil {
+			w = c.waiters
+		}
+		g.mu.Unlock()
+		if w == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d callers joined", w, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

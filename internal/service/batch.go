@@ -1,0 +1,288 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// maxBatchItems bounds one batch so a single request cannot monopolize
+// the worker pool indefinitely.
+const maxBatchItems = 64
+
+// batchConcurrency bounds how many unique sub-requests one batch job
+// executes at once. The batch occupies a single worker slot; this is its
+// internal fan-out width.
+const batchConcurrency = 4
+
+type batchItem struct {
+	// Op selects the sub-request type: "flow", "simulate", or "validate".
+	Op string `json:"op"`
+	// Request is the corresponding single-endpoint request body.
+	Request json.RawMessage `json:"request"`
+}
+
+type batchRequest struct {
+	Items []batchItem `json:"items"`
+	// TimeoutMS is the shared deadline for the whole batch (bounded by
+	// the server's job timeout, like any job).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+type batchItemResult struct {
+	Index     int    `json:"index"`
+	Status    string `json:"status"` // "ok" | "error"
+	Error     string `json:"error,omitempty"`
+	ErrorKind string `json:"error_kind,omitempty"`
+	// Cache is the sub-result's source: mem, disk, peer, hit, miss,
+	// bypass, coalesced, or dedup (answered by an identical item in this
+	// same batch).
+	Cache    string          `json:"cache,omitempty"`
+	Degraded bool            `json:"degraded,omitempty"`
+	Result   json.RawMessage `json:"result,omitempty"`
+}
+
+type batchResponse struct {
+	Items []batchItemResult `json:"items"`
+	// Unique is how many distinct cache keys the batch contained;
+	// Deduplicated is how many items shared another item's execution.
+	Unique       int `json:"unique"`
+	Deduplicated int `json:"deduplicated"`
+}
+
+// prepareBatchItem parses one sub-request through the same prepare path
+// as its single-request endpoint.
+func (s *Server) prepareBatchItem(it batchItem) (*preparedOp, error) {
+	switch it.Op {
+	case "flow":
+		var req flowRequest
+		if err := json.Unmarshal(it.Request, &req); err != nil {
+			return nil, fmt.Errorf("bad flow request: %w", err)
+		}
+		if req.Async {
+			return nil, errors.New("async is not supported inside a batch")
+		}
+		return s.prepareFlow(&req)
+	case "simulate":
+		var req simulateRequest
+		if err := json.Unmarshal(it.Request, &req); err != nil {
+			return nil, fmt.Errorf("bad simulate request: %w", err)
+		}
+		if req.Async {
+			return nil, errors.New("async is not supported inside a batch")
+		}
+		return s.prepareSimulate(&req)
+	case "validate":
+		var req validateRequest
+		if err := json.Unmarshal(it.Request, &req); err != nil {
+			return nil, fmt.Errorf("bad validate request: %w", err)
+		}
+		return s.prepareValidate(&req)
+	default:
+		return nil, fmt.Errorf("unknown op %q (want flow, simulate, or validate)", it.Op)
+	}
+}
+
+// batchClass is the admission class of the whole batch: its most
+// expensive member class (flow > simulate > validate).
+func batchClass(ops []*preparedOp) string {
+	class := "validate"
+	for _, op := range ops {
+		if op == nil {
+			continue
+		}
+		switch op.kind {
+		case "flow":
+			return "flow"
+		case "simulate":
+			class = "simulate"
+		}
+	}
+	return class
+}
+
+// handleBatch canonicalizes, deduplicates, and fans out sub-requests
+// inside one job with a shared deadline. Duplicate items (same canonical
+// cache key) execute once and share the result; unique items run
+// concurrently (bounded), each through the fleet single-flight group, so
+// a batch coalesces with identical work from other requests and other
+// replicas too.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.tr.Counter("http/batch").Inc()
+	var req batchRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Items) == 0 {
+		writeErr(w, http.StatusBadRequest, "batch has no items")
+		return
+	}
+	if len(req.Items) > maxBatchItems {
+		writeErr(w, http.StatusBadRequest, "batch exceeds %d items", maxBatchItems)
+		return
+	}
+
+	// Parse and canonicalize every item up front; shape errors are
+	// per-item results, not batch failures.
+	n := len(req.Items)
+	ops := make([]*preparedOp, n)
+	results := make([]batchItemResult, n)
+	for i, it := range req.Items {
+		results[i] = batchItemResult{Index: i}
+		op, err := s.prepareBatchItem(it)
+		if err != nil {
+			results[i].Status = "error"
+			results[i].Error = err.Error()
+			results[i].ErrorKind = ErrKindError
+			continue
+		}
+		ops[i] = op
+	}
+
+	// Deduplicate on canonical keys: the first item with a given key is
+	// its group's leader; followers share the leader's result. Keyless
+	// items (nocache, custom library) always run themselves.
+	leaders := make([]int, 0, n)
+	followerOf := make(map[int]int, n)
+	leaderByKey := make(map[string]int, n)
+	for i, op := range ops {
+		if op == nil {
+			continue
+		}
+		if op.key != "" {
+			if l, ok := leaderByKey[string(op.key)]; ok {
+				followerOf[i] = l
+				continue
+			}
+			leaderByKey[string(op.key)] = i
+		}
+		leaders = append(leaders, i)
+	}
+
+	if !s.admit(w, batchClass(ops)) {
+		return
+	}
+	rid := obs.RequestIDFromContext(r.Context())
+	jtr := s.newJobTracer()
+
+	fn := func(ctx context.Context) (any, error) {
+		ctx = obs.ContextWithRequestID(ctx, rid)
+		sp := jtr.Start("batch")
+		sp.SetAttr("items", n)
+		sp.SetAttr("unique", len(leaders))
+		defer sp.End()
+
+		type outcome struct {
+			jr  *jobResult
+			err error
+		}
+		outcomes := make([]outcome, n)
+		sem := make(chan struct{}, batchConcurrency)
+		var wg sync.WaitGroup
+		for _, i := range leaders {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				jr, err := s.runCoalesced(ctx, ops[i], jtr)
+				outcomes[i] = outcome{jr, err}
+			}(i)
+		}
+		wg.Wait()
+
+		degraded := false
+		okItems, errItems, deduped := 0, 0, 0
+		for i := range results {
+			if results[i].Status == "error" {
+				errItems++
+				continue
+			}
+			src := ""
+			o := outcomes[i]
+			if l, ok := followerOf[i]; ok {
+				o = outcomes[l]
+				src = "dedup"
+				deduped++
+			}
+			if o.err != nil {
+				results[i].Status = "error"
+				results[i].Error = o.err.Error()
+				results[i].ErrorKind = batchErrorKind(o.err)
+				errItems++
+				continue
+			}
+			if src == "" {
+				src = o.jr.source
+			}
+			results[i].Status = "ok"
+			results[i].Cache = src
+			results[i].Degraded = o.jr.degraded
+			results[i].Result = json.RawMessage(o.jr.body)
+			if o.jr.degraded {
+				degraded = true
+			}
+			okItems++
+		}
+		s.tr.Counter(obs.Labeled("batch/items_total", "outcome", "ok")).Add(int64(okItems))
+		s.tr.Counter(obs.Labeled("batch/items_total", "outcome", "error")).Add(int64(errItems))
+		s.tr.Counter("batch/deduped_total").Add(int64(deduped))
+
+		body, err := json.Marshal(batchResponse{
+			Items:        results,
+			Unique:       len(leaders),
+			Deduplicated: deduped,
+		})
+		if err != nil {
+			return nil, err
+		}
+		source := "miss"
+		if okItems > 0 && errItems == 0 && allHits(results) {
+			source = "hit"
+		}
+		return &jobResult{body: append(body, '\n'), source: source, degraded: degraded}, nil
+	}
+
+	j, ok := s.submit(w, "batch", rid, jtr, req.TimeoutMS, fn)
+	if !ok {
+		return
+	}
+	s.await(w, r, j)
+}
+
+// allHits reports whether every successful item was served from a cache
+// tier (the batch's X-Cache header).
+func allHits(results []batchItemResult) bool {
+	for _, r := range results {
+		if r.Status != "ok" {
+			continue
+		}
+		switch r.Cache {
+		case "mem", "disk", "peer", "hit", "coalesced", "dedup":
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// batchErrorKind classifies a sub-request error with the jobs API's
+// taxonomy.
+func batchErrorKind(err error) string {
+	var pe *PanicError
+	switch {
+	case errors.As(err, &pe):
+		return ErrKindPanic
+	case errors.Is(err, context.DeadlineExceeded):
+		return ErrKindTimeout
+	case errors.Is(err, context.Canceled):
+		return ErrKindCanceled
+	default:
+		return ErrKindError
+	}
+}

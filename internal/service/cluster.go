@@ -1,0 +1,236 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/cluster"
+	"repro/internal/obs"
+)
+
+// clusterPeerHeader tells the client which replica actually served a
+// forwarded request.
+const clusterPeerHeader = "X-Cluster-Peer"
+
+// routeCluster forwards a compute request to the replica that owns its
+// cache key, so identical requests landing anywhere in the fleet converge
+// on one replica — where the local single-flight group collapses them
+// onto one solve and the local cache serves everyone afterwards.
+//
+// Forwarding is skipped (returns false; caller handles locally) when: the
+// fleet is disabled, the op has no cache key (nocache/bypass), the
+// request was already forwarded once (loop prevention), this replica owns
+// the key, or the entry is already warm in the local memory cache (warm
+// hits are cheaper served here than over the wire). A transport failure
+// also falls back to local handling — the fleet degrades to independent
+// replicas, never to unavailability.
+func (s *Server) routeCluster(w http.ResponseWriter, r *http.Request, key cache.Key, body []byte) bool {
+	if s.node == nil || key == "" {
+		return false
+	}
+	if r.Header.Get(cluster.ForwardedHeader) != "" {
+		return false
+	}
+	owner, self := s.node.Owner(string(key))
+	if self || owner == "" {
+		return false
+	}
+	if s.lru.Contains(key) {
+		return false
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+		"http://"+owner+r.URL.Path, bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(cluster.ForwardedHeader, s.node.Self())
+	if rid := obs.RequestIDFromContext(r.Context()); rid != "" {
+		req.Header.Set(requestIDHeader, rid)
+	}
+	resp, err := s.node.Client().Do(req)
+	if err != nil {
+		s.tr.Counter(obs.Labeled("cluster/forwarded_total", "outcome", "error")).Inc()
+		return false
+	}
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", "X-Cache", "X-Degraded", "X-Job-Id", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.Header().Set(clusterPeerHeader, owner)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	s.tr.Counter(obs.Labeled("cluster/forwarded_total", "outcome", "ok")).Inc()
+	return true
+}
+
+// runCoalesced executes op.exec through the fleet single-flight group
+// when the op has a cache key: concurrent identical executions — from
+// direct requests, forwarded requests, and batch items alike — collapse
+// onto one run whose result every participant shares byte for byte. A
+// caller whose context ends leaves without failing the others; the run
+// itself is abandoned only when its last participant is gone.
+func (s *Server) runCoalesced(ctx context.Context, op *preparedOp, jtr *obs.Tracer) (*jobResult, error) {
+	if op.key == "" {
+		return op.exec(ctx, jtr)
+	}
+	v, shared, err := s.single.Do(ctx, string(op.key), func(runCtx context.Context) (val any, err error) {
+		// The run executes on a group-owned goroutine outside the worker
+		// pool's panic isolation; convert panics to the queue's PanicError
+		// so they surface as error_kind "panic" instead of killing the
+		// process.
+		defer func() {
+			if r := recover(); r != nil {
+				val, err = nil, newPanicError(r)
+			}
+		}()
+		return op.exec(runCtx, jtr)
+	})
+	if err != nil {
+		return nil, err
+	}
+	jr := v.(*jobResult)
+	if shared {
+		s.tr.Counter("cluster/singleflight_merged_total").Inc()
+		// Same bytes, distinct result struct: the source marker tells the
+		// caller (and the X-Cache header) this answer rode along on another
+		// request's solve.
+		cp := *jr
+		cp.source = sourceCoalesced
+		return &cp, nil
+	}
+	return jr, nil
+}
+
+// sourceCoalesced marks a jobResult that shared another request's
+// execution; cacheHeader reports it as a hit (no local work was done).
+const sourceCoalesced = "coalesced"
+
+// tracedPeer wraps the peer cache tier so each cross-replica fetch shows
+// up as a span ("peer_fetch") on the per-job tracer — and therefore in
+// job traces and the flight recorder. Returns nil outside a fleet.
+func (s *Server) tracedPeer(jtr *obs.Tracer) cache.Layer {
+	if s.peer == nil {
+		return nil
+	}
+	return &tracedLayer{inner: s.peer, jtr: jtr}
+}
+
+type tracedLayer struct {
+	inner cache.Layer
+	jtr   *obs.Tracer
+}
+
+func (t *tracedLayer) Get(key cache.Key) ([]byte, bool, error) {
+	sp := t.jtr.Start("peer_fetch")
+	defer sp.End()
+	b, ok, err := t.inner.Get(key)
+	sp.SetAttr("hit", ok)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	return b, ok, err
+}
+
+func (t *tracedLayer) Put(key cache.Key, val []byte) error {
+	return t.inner.Put(key, val)
+}
+
+// ---- /internal/cache/{key}: the peer-cache protocol endpoint ----
+
+// validCacheKey checks the canonical key shape (tag:hex64) so the
+// internal endpoint never touches the cache with attacker-shaped keys.
+func validCacheKey(k string) bool {
+	tag, hex, ok := strings.Cut(k, ":")
+	if !ok || len(hex) != 64 {
+		return false
+	}
+	switch tag {
+	case "sim", "flow", "gate", "xag":
+	default:
+		return false
+	}
+	for i := 0; i < len(hex); i++ {
+		c := hex[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// authorizeInternal guards the peer-cache endpoint: shared secret when
+// the fleet has one, loopback-only otherwise.
+func (s *Server) authorizeInternal(r *http.Request) bool {
+	secret := ""
+	if s.node != nil {
+		secret = s.node.Secret()
+	}
+	return cluster.AuthorizeInternal(r, secret)
+}
+
+// handleInternalCacheGet serves raw cache entries to peers. It reads
+// through Peek (no LRU promotion, no hit/miss counters) so cross-replica
+// traffic doesn't distort local cache telemetry, falling back to the disk
+// layer for flow artifacts that aged out of memory.
+func (s *Server) handleInternalCacheGet(w http.ResponseWriter, r *http.Request) {
+	if !s.authorizeInternal(r) {
+		writeErr(w, http.StatusForbidden, "cluster secret required")
+		return
+	}
+	key := r.PathValue("key")
+	if !validCacheKey(key) {
+		writeErr(w, http.StatusBadRequest, "malformed cache key")
+		return
+	}
+	k := cache.Key(key)
+	b, ok := s.lru.Peek(k)
+	if !ok && s.flow.Disk != nil && strings.HasPrefix(key, "flow:") {
+		if db, dok, err := s.flow.Disk.Get(k); err == nil && dok {
+			b, ok = db, true
+		}
+	}
+	if !ok {
+		writeErrKind(w, http.StatusNotFound, ErrKindNotFound, "no cache entry")
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	w.Write(b)
+}
+
+// maxInternalEntryBytes bounds one pushed cache entry.
+const maxInternalEntryBytes = 8 << 20
+
+// handleInternalCachePut accepts a pushed cache entry from a peer. Peers
+// only push non-degraded results (the cache wrappers refuse to store
+// degraded ones at the source), so nothing accepted here can serve a
+// reduced-quality answer.
+func (s *Server) handleInternalCachePut(w http.ResponseWriter, r *http.Request) {
+	if !s.authorizeInternal(r) {
+		writeErr(w, http.StatusForbidden, "cluster secret required")
+		return
+	}
+	key := r.PathValue("key")
+	if !validCacheKey(key) {
+		writeErr(w, http.StatusBadRequest, "malformed cache key")
+		return
+	}
+	b, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxInternalEntryBytes))
+	if err != nil {
+		writeErr(w, http.StatusRequestEntityTooLarge, "cache entry too large")
+		return
+	}
+	k := cache.Key(key)
+	s.lru.Put(k, b)
+	if s.flow.Disk != nil && strings.HasPrefix(key, "flow:") {
+		_ = s.flow.Disk.Put(k, b)
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

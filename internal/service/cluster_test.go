@@ -1,0 +1,519 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+)
+
+// TestConcurrentIdenticalRequestsCoalesce is the single-flight
+// acceptance test: N concurrent identical cold requests produce exactly
+// one solver invocation and byte-identical responses.
+func TestConcurrentIdenticalRequestsCoalesce(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4})
+
+	const n = 8
+	var wg sync.WaitGroup
+	bodies := make([][]byte, n)
+	caches := make([]string, n)
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body := postJSON(t, ts.URL+"/v1/simulate", fourDots())
+			codes[i], bodies[i], caches[i] = resp.StatusCode, body, resp.Header.Get("X-Cache")
+		}(i)
+	}
+	wg.Wait()
+
+	misses := 0
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, codes[i], bodies[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("request %d body differs:\n%s\n%s", i, bodies[i], bodies[0])
+		}
+		if caches[i] == "miss" {
+			misses++
+		}
+	}
+	if misses != 1 {
+		t.Fatalf("%d X-Cache misses across %d identical concurrent requests; want exactly 1", misses, n)
+	}
+	if got := s.tr.Counter(obs.Labeled("jobs/cold_solves_total", "kind", "simulate")).Value(); got != 1 {
+		t.Fatalf("cold solves = %d; want exactly 1 solver invocation", got)
+	}
+}
+
+func TestBatchDedupAndFanout(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	sim, err := json.Marshal(fourDots())
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := fourDots()
+	other["dots"] = append(other["dots"].([]map[string]any), map[string]any{"x": 6, "y": 0, "role": "perturber"})
+	sim2, err := json.Marshal(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req := map[string]any{"items": []map[string]any{
+		{"op": "simulate", "request": json.RawMessage(sim)},
+		{"op": "simulate", "request": json.RawMessage(sim)},
+		{"op": "simulate", "request": json.RawMessage(sim2)},
+		{"op": "simulate", "request": json.RawMessage(sim)},
+		{"op": "bogus"},
+	}}
+	resp, body := postJSON(t, ts.URL+"/v1/batch", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %d %s", resp.StatusCode, body)
+	}
+	var br batchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Items) != 5 {
+		t.Fatalf("%d item results; want 5", len(br.Items))
+	}
+	if br.Unique != 2 || br.Deduplicated != 2 {
+		t.Fatalf("unique=%d deduplicated=%d; want 2 and 2", br.Unique, br.Deduplicated)
+	}
+	if br.Items[0].Status != "ok" || br.Items[0].Cache == "dedup" {
+		t.Fatalf("leader item: %+v", br.Items[0])
+	}
+	for _, i := range []int{1, 3} {
+		it := br.Items[i]
+		if it.Status != "ok" || it.Cache != "dedup" {
+			t.Fatalf("follower item %d: %+v", i, it)
+		}
+		if !bytes.Equal(it.Result, br.Items[0].Result) {
+			t.Fatalf("follower %d result differs from its leader", i)
+		}
+	}
+	if br.Items[2].Status != "ok" || br.Items[2].Cache == "dedup" {
+		t.Fatalf("distinct item: %+v", br.Items[2])
+	}
+	if bytes.Equal(br.Items[2].Result, br.Items[0].Result) {
+		t.Fatal("distinct payloads produced identical results")
+	}
+	if br.Items[4].Status != "error" || !strings.Contains(br.Items[4].Error, "unknown op") {
+		t.Fatalf("bad item: %+v", br.Items[4])
+	}
+	// Three simulate items with one key plus one with another: the solver
+	// must have run once per unique key.
+	if got := s.tr.Counter(obs.Labeled("jobs/cold_solves_total", "kind", "simulate")).Value(); got != 2 {
+		t.Fatalf("cold solves = %d; want 2 (one per unique key)", got)
+	}
+	if got := s.tr.Counter("batch/deduped_total").Value(); got != 2 {
+		t.Fatalf("batch_deduped_total = %d; want 2", got)
+	}
+}
+
+func TestBatchRejectsAsyncItems(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	flowReq, _ := json.Marshal(map[string]any{"bench": "xor2", "engine": "ortho", "async": true})
+	resp, body := postJSON(t, ts.URL+"/v1/batch", map[string]any{
+		"items": []map[string]any{{"op": "flow", "request": json.RawMessage(flowReq)}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %d %s", resp.StatusCode, body)
+	}
+	var br batchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Items[0].Status != "error" || !strings.Contains(br.Items[0].Error, "async") {
+		t.Fatalf("async item: %+v", br.Items[0])
+	}
+}
+
+func TestBatchBounds(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, _ := postJSON(t, ts.URL+"/v1/batch", map[string]any{"items": []map[string]any{}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch: %d", resp.StatusCode)
+	}
+	items := make([]map[string]any, maxBatchItems+1)
+	for i := range items {
+		items[i] = map[string]any{"op": "simulate", "request": json.RawMessage(`{}`)}
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/batch", map[string]any{"items": items})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized batch: %d", resp.StatusCode)
+	}
+}
+
+// TestAdmissionShedsByCostClass saturates the queue and checks the shed
+// order: flow first, then simulate/validate, while reads always pass.
+func TestAdmissionShedsByCostClass(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+
+	// Fill the worker and the queue slot with blocking jobs: utilization
+	// (1 running + 1 queued) / (1 worker + 1 slot) = 1.0.
+	release := make(chan struct{})
+	block := func(context.Context) (any, error) {
+		<-release
+		return nil, nil
+	}
+	if _, err := s.queue.Submit("test", 0, block); err != nil {
+		t.Fatal(err)
+	}
+	// The queue slot frees only once a worker picks the job up; wait for
+	// that before filling the slot itself.
+	waitForCond(t, func() bool { return s.queue.Running() == 1 })
+	if _, err := s.queue.Submit("test", 0, block); err != nil {
+		t.Fatal(err)
+	}
+	defer close(release)
+	waitForCond(t, func() bool { return s.queue.Running() == 1 && s.queue.Depth() == 1 })
+
+	var gl struct {
+		Gates []string `json:"gates"`
+	}
+	resp0, glBody := getRaw(t, ts.URL+"/v1/gates")
+	if resp0.StatusCode != http.StatusOK || json.Unmarshal(glBody, &gl) != nil || len(gl.Gates) == 0 {
+		t.Fatalf("gate list: %d %s", resp0.StatusCode, glBody)
+	}
+
+	for _, c := range []struct {
+		path string
+		body map[string]any
+	}{
+		{"/v1/flow", map[string]any{"bench": "xor2", "engine": "ortho"}},
+		{"/v1/simulate", fourDots()},
+		{"/v1/gates/validate", map[string]any{"gate": gl.Gates[0]}},
+	} {
+		resp, body := postJSON(t, ts.URL+c.path, c.body)
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("%s at full utilization: %d %s; want 429", c.path, resp.StatusCode, body)
+		}
+		var e struct {
+			Kind string `json:"error_kind"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil || e.Kind != ErrKindShed {
+			t.Fatalf("%s: error_kind %q body %s", c.path, e.Kind, body)
+		}
+		if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+			t.Fatalf("%s: Retry-After %q; want a positive estimate", c.path, ra)
+		}
+	}
+
+	// Reads are never shed.
+	resp, err := http.Get(ts.URL + "/v1/gates")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("read at full utilization: %d; reads must never shed", resp.StatusCode)
+	}
+
+	// /healthz reports the saturation and the classes being shed.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz struct {
+		Saturation struct {
+			QueueDepth  int      `json:"queue_depth"`
+			JobsRunning int      `json:"jobs_running"`
+			Utilization float64  `json:"utilization"`
+			Shedding    []string `json:"shedding"`
+		} `json:"saturation"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&hz)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hz.Saturation.QueueDepth != 1 || hz.Saturation.JobsRunning != 1 {
+		t.Fatalf("healthz saturation: %+v", hz.Saturation)
+	}
+	if hz.Saturation.Utilization < 1 {
+		t.Fatalf("healthz utilization %v; want 1", hz.Saturation.Utilization)
+	}
+	if len(hz.Saturation.Shedding) == 0 || hz.Saturation.Shedding[0] != "flow" {
+		t.Fatalf("healthz shedding %v; want flow first", hz.Saturation.Shedding)
+	}
+	if got := s.tr.Counter(obs.Labeled("admission/shed_total", "class", "flow")).Value(); got != 1 {
+		t.Fatalf("admission_shed_total{flow} = %d; want 1", got)
+	}
+}
+
+func TestSheddingClassOrder(t *testing.T) {
+	cases := []struct {
+		u    float64
+		want []string
+	}{
+		{0.5, nil},
+		{0.8, []string{"flow"}},
+		{0.95, []string{"flow", "simulate", "validate"}},
+	}
+	for _, c := range cases {
+		got := sheddingClasses(c.u)
+		if fmt.Sprint(got) != fmt.Sprint(c.want) {
+			t.Errorf("sheddingClasses(%v) = %v, want %v", c.u, got, c.want)
+		}
+	}
+}
+
+const testCacheKey = "sim:00000000000000000000000000000000000000000000000000000000000000aa"
+
+// TestInternalCacheRoundtrip exercises the peer-cache protocol endpoint
+// without a secret (loopback trust).
+func TestInternalCacheRoundtrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	put := func(key string, body []byte) int {
+		req, err := http.NewRequest(http.MethodPut, ts.URL+"/internal/cache/"+key, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if code := put(testCacheKey, []byte("payload")); code != http.StatusNoContent {
+		t.Fatalf("put: %d", code)
+	}
+	resp, body := getRaw(t, ts.URL+"/internal/cache/"+testCacheKey)
+	if resp.StatusCode != http.StatusOK || string(body) != "payload" {
+		t.Fatalf("get: %d %q", resp.StatusCode, body)
+	}
+	resp, _ = getRaw(t, ts.URL+"/internal/cache/"+strings.Replace(testCacheKey, "aa", "bb", 1))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("absent key: %d; want 404", resp.StatusCode)
+	}
+	for _, bad := range []string{"sim:short", "evil:" + strings.Repeat("a", 64), "sim:" + strings.Repeat("G", 64)} {
+		resp, _ = getRaw(t, ts.URL+"/internal/cache/"+bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("malformed key %q: %d; want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+// TestInternalCacheSecret: with a fleet secret configured, loopback alone
+// is no longer enough.
+func TestInternalCacheSecret(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, Cluster: &cluster.Config{
+		Self:   "127.0.0.1:1",
+		Secret: "s3cret",
+	}})
+	t.Cleanup(s.node.Stop)
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/internal/cache/"+testCacheKey, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("no secret: %d; want 403", resp.StatusCode)
+	}
+	req.Header.Set(cluster.SecretHeader, "s3cret")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("with secret: %d; want 404 (authorized, empty cache)", resp.StatusCode)
+	}
+}
+
+// TestClusterForwarding boots two real peered replicas and checks that a
+// request landing on the non-owner is forwarded to the owner, solved
+// once, and served warm from the owner on repeat.
+func TestClusterForwarding(t *testing.T) {
+	servers, urls, addrs := startPeeredServers(t, 2)
+
+	// Find which replica owns the test payload's cache key.
+	b, err := json.Marshal(fourDots())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var simReq simulateRequest
+	if err := json.Unmarshal(b, &simReq); err != nil {
+		t.Fatal(err)
+	}
+	op, err := servers[0].prepareSimulate(&simReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ownerAddr, _ := servers[0].node.Owner(string(op.key))
+	owner, nonOwner := 0, 1
+	if ownerAddr == addrs[1] {
+		owner, nonOwner = 1, 0
+	}
+
+	resp, body := postJSON(t, urls[nonOwner]+"/v1/simulate", fourDots())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded cold: %d %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get(clusterPeerHeader); got != addrs[owner] {
+		t.Fatalf("X-Cluster-Peer = %q; want owner %q", got, addrs[owner])
+	}
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("forwarded cold X-Cache = %q; want miss", got)
+	}
+
+	// Repeat against the non-owner: forwarded again, served from the
+	// owner's cache, byte-identical.
+	resp2, body2 := postJSON(t, urls[nonOwner]+"/v1/simulate", fourDots())
+	if resp2.Header.Get(clusterPeerHeader) != addrs[owner] || resp2.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("forwarded warm: peer=%q cache=%q", resp2.Header.Get(clusterPeerHeader), resp2.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(body, body2) {
+		t.Fatal("forwarded warm body differs from cold")
+	}
+
+	// The owner solved once; the non-owner never solved at all.
+	if got := servers[owner].tr.Counter(obs.Labeled("jobs/cold_solves_total", "kind", "simulate")).Value(); got != 1 {
+		t.Fatalf("owner cold solves = %d; want 1", got)
+	}
+	if got := servers[nonOwner].tr.Counter(obs.Labeled("jobs/cold_solves_total", "kind", "simulate")).Value(); got != 0 {
+		t.Fatalf("non-owner cold solves = %d; want 0", got)
+	}
+	if got := servers[nonOwner].tr.Counter(obs.Labeled("cluster/forwarded_total", "outcome", "ok")).Value(); got != 2 {
+		t.Fatalf("forwarded ok = %d; want 2", got)
+	}
+}
+
+// TestClusterForwardingFallsBackWhenOwnerDies: with the owner gone, the
+// non-owner must solve locally instead of failing the request.
+func TestClusterForwardingLocalFallback(t *testing.T) {
+	servers, urls, addrs := startPeeredServers(t, 2)
+
+	b, err := json.Marshal(fourDots())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var simReq simulateRequest
+	if err := json.Unmarshal(b, &simReq); err != nil {
+		t.Fatal(err)
+	}
+	op, err := servers[0].prepareSimulate(&simReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ownerAddr, _ := servers[0].node.Owner(string(op.key))
+	owner, nonOwner := 0, 1
+	if ownerAddr == addrs[1] {
+		owner, nonOwner = 1, 0
+	}
+
+	// Kill the owner's listener; probes have not yet noticed, so the
+	// non-owner still tries to forward — and must fall back locally.
+	servers[owner].node.Stop()
+	closeListener(t, urls[owner])
+
+	resp, body := postJSON(t, urls[nonOwner]+"/v1/simulate", fourDots())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fallback: %d %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get(clusterPeerHeader); got != "" {
+		t.Fatalf("fallback carried X-Cluster-Peer %q; want local handling", got)
+	}
+	if got := servers[nonOwner].tr.Counter(obs.Labeled("cluster/forwarded_total", "outcome", "error")).Value(); got == 0 {
+		t.Fatal("forward error counter not incremented")
+	}
+}
+
+var testListeners sync.Map // url -> *http.Server
+
+// startPeeredServers boots n real peered replicas on loopback listeners
+// (httptest cannot be used: each replica must know its own routable
+// address before the handler exists).
+func startPeeredServers(t *testing.T, n int) (servers []*Server, urls, addrs []string) {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	addrs = make([]string, n)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		addrs[i] = l.Addr().String()
+	}
+	for i := range listeners {
+		var peers []string
+		for j, a := range addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		s, err := New(Config{Workers: 2, Cluster: &cluster.Config{
+			Self:          addrs[i],
+			Peers:         peers,
+			Secret:        "test-fleet",
+			ProbeInterval: 50 * time.Millisecond,
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := &http.Server{Handler: s.Handler()}
+		go hs.Serve(listeners[i])
+		url := "http://" + addrs[i]
+		testListeners.Store(url, hs)
+		t.Cleanup(func() {
+			s.node.Stop()
+			hs.Close()
+		})
+		servers = append(servers, s)
+		urls = append(urls, url)
+	}
+	return servers, urls, addrs
+}
+
+func closeListener(t *testing.T, url string) {
+	t.Helper()
+	hs, ok := testListeners.Load(url)
+	if !ok {
+		t.Fatalf("no server for %s", url)
+	}
+	hs.(*http.Server).Close()
+}
+
+func getRaw(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := new(bytes.Buffer)
+	body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	return resp, body.Bytes()
+}
+
+func waitForCond(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

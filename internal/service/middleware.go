@@ -44,9 +44,12 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 // label cardinality stays bounded no matter what clients send.
 func routeLabel(path string) string {
 	switch path {
-	case "/v1/flow", "/v1/simulate", "/v1/gates/validate", "/v1/gates", "/healthz", "/metrics",
-		"/debug/flightrecorder":
+	case "/v1/flow", "/v1/simulate", "/v1/gates/validate", "/v1/gates", "/v1/batch",
+		"/healthz", "/metrics", "/debug/flightrecorder":
 		return path
+	}
+	if strings.HasPrefix(path, "/internal/cache/") {
+		return "/internal/cache/{key}"
 	}
 	if strings.HasPrefix(path, "/v1/jobs/") {
 		if strings.HasSuffix(path, "/trace") {
@@ -65,7 +68,8 @@ func routeLabel(path string) string {
 // cheap read.
 func costClass(route string) string {
 	switch route {
-	case "/v1/flow":
+	case "/v1/flow", "/v1/batch":
+		// A batch is billed at its most expensive possible class.
 		return "flow"
 	case "/v1/simulate":
 		return "simulate"

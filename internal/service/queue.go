@@ -61,6 +61,12 @@ type PanicError struct {
 // — it goes to the structured log, not to API clients).
 func (p *PanicError) Error() string { return fmt.Sprintf("job panicked: %v", p.Value) }
 
+// newPanicError captures a recovered panic with its stack, for code paths
+// (like single-flight executions) that run outside safeRun's isolation.
+func newPanicError(v any) *PanicError {
+	return &PanicError{Value: v, Stack: debug.Stack()}
+}
+
 // DegradedResult is implemented by job results that carry a degradation
 // marker (deadline pressure forced a cheaper engine); the queue surfaces
 // it as ErrorKind "degraded" on otherwise-successful jobs.

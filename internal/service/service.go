@@ -5,13 +5,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/gatelib"
 	"repro/internal/lattice"
@@ -64,6 +67,10 @@ type Config struct {
 	// Chaos tests shrink them so budget burn and recovery are observable
 	// within a smoke run.
 	SLOWindows []time.Duration
+	// Cluster, when set, makes this replica part of a fleet: peer health
+	// probes, consistent-hash ownership routing, a peer cache tier, and
+	// fleet-wide single-flight deduplication (see internal/cluster).
+	Cluster *cluster.Config
 }
 
 // defaultObjectives declares the service's latency/error objectives per
@@ -97,6 +104,15 @@ type Server struct {
 	flight    *flight.Recorder
 	slo       *slo.Engine
 	inFlight  atomic.Int64
+
+	// Fleet state: nil node means single-replica operation. peer is the
+	// resilient-wrapped peer cache tier handed to the cache wrappers;
+	// single coalesces identical in-flight executions; admission applies
+	// cost-class load shedding.
+	node      *cluster.Node
+	peer      cache.Layer
+	single    cluster.Group
+	admission *admission
 }
 
 // New builds a server (it does not listen; see Handler).
@@ -167,13 +183,46 @@ func New(cfg Config) (*Server, error) {
 			Logger:     s.log,
 		})
 	}
+	if cfg.Cluster != nil {
+		cc := *cfg.Cluster
+		if cc.Tracer == nil {
+			cc.Tracer = s.tr
+		}
+		if cc.Logger == nil {
+			cc.Logger = s.log
+		}
+		node, err := cluster.NewNode(cc)
+		if err != nil {
+			return nil, err
+		}
+		s.node = node
+		// Peer I/O rides behind the same resilient breaker as the disk:
+		// no in-layer retries (the probe loop removes dead peers from the
+		// ring within about a second anyway), and repeated failures trip
+		// the breaker so a sick fleet degrades to independent replicas.
+		s.peer = cache.NewResilient(cluster.NewPeerLayer(node), cache.ResilientOptions{
+			Name:       "peer",
+			MaxRetries: -1,
+			Tracer:     s.tr,
+			Logger:     s.log,
+		})
+		s.flow.Peer = s.peer
+		node.Start()
+	}
+	s.admission = newAdmission(s.tr)
 	s.queue = NewQueue(cfg.Workers, cfg.QueueDepth, cfg.JobTimeout, s.tr, s.log)
-	s.queue.OnFinish(s.recordFlight)
+	s.queue.OnFinish(func(j *Job) {
+		s.recordFlight(j)
+		s.admission.observe(j.RunSeconds())
+	})
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/flow", s.handleFlow)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("POST /v1/gates/validate", s.handleValidate)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /internal/cache/{key}", s.handleInternalCacheGet)
+	s.mux.HandleFunc("PUT /internal/cache/{key}", s.handleInternalCachePut)
 	s.mux.HandleFunc("GET /v1/gates", s.handleGates)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
@@ -197,8 +246,13 @@ func (s *Server) Queue() *Queue { return s.queue }
 func (s *Server) CacheStats() cache.Stats { return s.lru.Stats() }
 
 // Drain stops accepting jobs and waits for in-flight work (see
-// Queue.Drain).
-func (s *Server) Drain(ctx context.Context) error { return s.queue.Drain(ctx) }
+// Queue.Drain). In a fleet it also stops the peer probe loop.
+func (s *Server) Drain(ctx context.Context) error {
+	if s.node != nil {
+		s.node.Stop()
+	}
+	return s.queue.Drain(ctx)
+}
 
 // ---- request/response plumbing ----
 
@@ -219,7 +273,9 @@ func (r *jobResult) DegradedResult() bool { return r.degraded }
 
 func (r *jobResult) cacheHeader() string {
 	switch r.source {
-	case cache.SourceMem, cache.SourceDisk, "hit":
+	case cache.SourceMem, cache.SourceDisk, cache.SourcePeer, "hit", sourceCoalesced:
+		// A peer hit or a coalesced ride-along did no local solving; from
+		// the client's perspective both are fleet cache hits.
 		return "hit"
 	default:
 		return "miss"
@@ -251,23 +307,77 @@ func writeErrKind(w http.ResponseWriter, code int, kind, format string, args ...
 	})
 }
 
-// decodeJSON decodes a bounded request body into v. It returns false
-// after writing the error response itself: 413 with a JSON error when the
-// body exceeds the configured bound (instead of the opaque read failure
-// an unbounded decode would surface), 400 for malformed JSON.
-func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+// readBody reads the bounded raw request body. It returns ok=false after
+// writing the error response itself: 413 with a JSON error when the body
+// exceeds the configured bound. The raw bytes are kept because cluster
+// routing forwards them verbatim to the owner replica.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	b, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
 			writeErr(w, http.StatusRequestEntityTooLarge,
 				"request body exceeds %d bytes", mbe.Limit)
-			return false
+			return nil, false
 		}
+		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
+		return nil, false
+	}
+	return b, true
+}
+
+// unmarshalBody decodes body into v, writing the 400 itself on failure.
+func unmarshalBody(w http.ResponseWriter, body []byte, v any) bool {
+	if err := json.Unmarshal(body, v); err != nil {
 		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
 		return false
 	}
 	return true
+}
+
+// decodeJSON reads and decodes a bounded request body into v (see
+// readBody; kept for handlers that never forward).
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return false
+	}
+	return unmarshalBody(w, body, v)
+}
+
+// preparedOp is a parsed, validated compute request: its canonical cache
+// key (empty when the request is not content-addressable — nocache or a
+// custom library) drives cluster routing and single-flight coalescing,
+// and exec performs the work under the given context and per-job tracer.
+// prepare* functions do all request-shape validation up front, so exec
+// can only fail for compute reasons.
+type preparedOp struct {
+	kind      string // "flow", "simulate", "validate"
+	key       cache.Key
+	timeoutMS int64
+	exec      func(ctx context.Context, jtr *obs.Tracer) (*jobResult, error)
+}
+
+// coldSolve counts a genuinely local computation (no cache tier and no
+// coalescing served it) — the number the fleet bench sums across replicas
+// to prove single-flight works.
+func (s *Server) coldSolve(kind string) {
+	s.tr.Counter(obs.Labeled("jobs/cold_solves_total", "kind", kind)).Inc()
+}
+
+// jobFn adapts a preparedOp into the queue's JobFunc, threading the
+// request ID and routing the execution through the single-flight group.
+func (s *Server) jobFn(op *preparedOp, rid string, jtr *obs.Tracer) JobFunc {
+	return func(ctx context.Context) (any, error) {
+		ctx = obs.ContextWithRequestID(ctx, rid)
+		jr, err := s.runCoalesced(ctx, op, jtr)
+		if err != nil {
+			// Return an untyped nil: a typed-nil *jobResult inside the any
+			// would pass the job-result type assertions downstream.
+			return nil, err
+		}
+		return jr, nil
+	}
 }
 
 // newJobTracer builds the per-job tracer: it records the job's stage
@@ -294,8 +404,11 @@ func (s *Server) submit(w http.ResponseWriter, kind, rid string, jtr *obs.Tracer
 	case nil:
 		return j, true
 	case ErrQueueFull:
-		w.Header().Set("Retry-After", "1")
-		writeErr(w, http.StatusTooManyRequests, "job queue is full (depth %d)", s.cfg.QueueDepth)
+		// Same honest estimate as admission control: backlog times the
+		// smoothed job duration across the pool, not a blind constant.
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeErrKind(w, http.StatusTooManyRequests, ErrKindShed,
+			"job queue is full (depth %d)", s.cfg.QueueDepth)
 	case ErrDraining:
 		writeErr(w, http.StatusServiceUnavailable, "server is draining")
 	default:
@@ -405,21 +518,15 @@ func parseEngine(name string) (core.Engine, error) {
 	}
 }
 
-func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
-	s.tr.Counter("http/flow").Inc()
-	var req flowRequest
-	if !s.decodeJSON(w, r, &req) {
-		return
-	}
-	spec, err := s.parseSpec(&req)
+// prepareFlow validates a flow request and packages it as a preparedOp.
+func (s *Server) prepareFlow(req *flowRequest) (*preparedOp, error) {
+	spec, err := s.parseSpec(req)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
-		return
+		return nil, err
 	}
 	engine, err := parseEngine(req.Engine)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
-		return
+		return nil, err
 	}
 	solver := req.Solver
 	if solver == "" {
@@ -427,34 +534,47 @@ func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.CellSim {
 		if _, err := sim.Lookup(solver); err != nil {
-			writeErr(w, http.StatusBadRequest, "%v", err)
-			return
+			return nil, err
 		}
 	}
-	rid := obs.RequestIDFromContext(r.Context())
-	jtr := s.newJobTracer()
-	opts := core.Options{
+	baseOpts := core.Options{
 		Engine:        engine,
 		CellSim:       req.CellSim,
 		GroundSolver:  solver,
-		Tracer:        jtr,
 		DegradeMargin: s.cfg.DegradeMargin,
 	}
-	opts.Exact.MaxArea = req.MaxArea
-	opts.Exact.ConflictBudget = req.ConflictBudget
+	baseOpts.Exact.MaxArea = req.MaxArea
+	baseOpts.Exact.ConflictBudget = req.ConflictBudget
 
-	fn := func(ctx context.Context) (any, error) {
-		ctx = obs.ContextWithRequestID(ctx, rid)
+	var key cache.Key
+	if !req.NoCache {
+		key = cache.FlowKey(spec, baseOpts, req.SQD, req.Report)
+	}
+	sqd, report, nocache := req.SQD, req.Report, req.NoCache
+	op := &preparedOp{kind: "flow", key: key, timeoutMS: req.TimeoutMS}
+	op.exec = func(ctx context.Context, jtr *obs.Tracer) (*jobResult, error) {
+		opts := baseOpts
+		opts.Tracer = jtr
 		var art *cache.FlowArtifact
 		source := cache.SourceBypass
 		var err error
-		if req.NoCache {
-			art, err = cache.RunFlow(ctx, spec, opts, req.SQD, req.Report)
+		if nocache {
+			art, err = cache.RunFlow(ctx, spec, opts, sqd, report)
 		} else {
-			art, source, err = s.flow.Run(ctx, spec, opts, req.SQD, req.Report)
+			art, source, err = s.flow.Run(ctx, spec, opts, sqd, report)
 		}
 		if err != nil {
 			return nil, err
+		}
+		switch source {
+		case cache.SourceMiss, cache.SourceBypass:
+			s.coldSolve("flow")
+		case cache.SourcePeer:
+			// Surface the cross-replica fetch in the job trace so the
+			// flight recorder shows where the artifact came from.
+			sp := jtr.Start("peer_fetch")
+			sp.SetAttr("source", "peer")
+			sp.End()
 		}
 		body, err := json.Marshal(art)
 		if err != nil {
@@ -462,7 +582,35 @@ func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 		}
 		return &jobResult{body: append(body, '\n'), source: source, degraded: art.Degraded}, nil
 	}
-	j, ok := s.submit(w, "flow", rid, jtr, req.TimeoutMS, fn)
+	return op, nil
+}
+
+func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
+	s.tr.Counter("http/flow").Inc()
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req flowRequest
+	if !unmarshalBody(w, body, &req) {
+		return
+	}
+	op, err := s.prepareFlow(&req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Async jobs are polled on the replica that accepted them, so they
+	// must run (and be admitted) locally rather than forwarded.
+	if !req.Async && s.routeCluster(w, r, op.key, body) {
+		return
+	}
+	if !s.admit(w, "flow") {
+		return
+	}
+	rid := obs.RequestIDFromContext(r.Context())
+	jtr := s.newJobTracer()
+	j, ok := s.submit(w, "flow", rid, jtr, op.timeoutMS, s.jobFn(op, rid, jtr))
 	if !ok {
 		return
 	}
@@ -552,16 +700,12 @@ func (s *Server) simLayout(req *simulateRequest) (*sidb.Layout, error) {
 	}
 }
 
-func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
-	s.tr.Counter("http/simulate").Inc()
-	var req simulateRequest
-	if !s.decodeJSON(w, r, &req) {
-		return
-	}
-	layout, err := s.simLayout(&req)
+// prepareSimulate validates a simulate request and packages it as a
+// preparedOp, computing the canonical sim key up front for routing.
+func (s *Server) prepareSimulate(req *simulateRequest) (*preparedOp, error) {
+	layout, err := s.simLayout(req)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
-		return
+		return nil, err
 	}
 	params := sim.ParamsFig5
 	if req.Params != nil {
@@ -573,22 +717,26 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	inner, err := sim.Lookup(solverName)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
-		return
+		return nil, err
 	}
 	// Cache outside the ladder: warm hits skip the degradation logic
 	// entirely, and the cache layer refuses to store degraded solutions,
 	// so cached entries are always full-quality.
 	degrading := &sim.Degrading{Inner: inner, Margin: s.cfg.DegradeMargin, Tracer: s.tr}
-	cached := &cache.CachedSolver{Inner: degrading, Cache: s.lru, Tracer: s.tr}
+	keyEng := sim.NewEngine(layout, params)
+	key, _ := cache.SimKey(keyEng, degrading.Name())
 
-	rid := obs.RequestIDFromContext(r.Context())
-	jtr := s.newJobTracer()
-	fn := func(ctx context.Context) (any, error) {
-		ctx = obs.ContextWithRequestID(ctx, rid)
+	op := &preparedOp{kind: "simulate", key: key, timeoutMS: req.TimeoutMS}
+	op.exec = func(ctx context.Context, jtr *obs.Tracer) (*jobResult, error) {
+		cached := &cache.CachedSolver{
+			Inner:  degrading,
+			Cache:  s.lru,
+			Tracer: s.tr,
+			Peer:   s.tracedPeer(jtr),
+		}
 		sp := jtr.Start("simulate")
 		defer sp.End()
-		if rid != "" {
+		if rid := obs.RequestIDFromContext(ctx); rid != "" {
 			sp.SetAttr("request_id", rid)
 		}
 		eng := sim.NewEngine(layout, params)
@@ -599,6 +747,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		}
 		sp.SetAttr("solver", sol.Solver)
 		sp.SetAttr("cache_hit", hit)
+		if !hit {
+			s.coldSolve("simulate")
+		}
 		resp := simulateResponse{
 			Solver:   sol.Solver,
 			Exact:    sol.Exact,
@@ -623,7 +774,33 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		}
 		return &jobResult{body: append(body, '\n'), source: source, degraded: sol.Degraded}, nil
 	}
-	j, ok := s.submit(w, "simulate", rid, jtr, req.TimeoutMS, fn)
+	return op, nil
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	s.tr.Counter("http/simulate").Inc()
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req simulateRequest
+	if !unmarshalBody(w, body, &req) {
+		return
+	}
+	op, err := s.prepareSimulate(&req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !req.Async && s.routeCluster(w, r, op.key, body) {
+		return
+	}
+	if !s.admit(w, "simulate") {
+		return
+	}
+	rid := obs.RequestIDFromContext(r.Context())
+	jtr := s.newJobTracer()
+	j, ok := s.submit(w, "simulate", rid, jtr, op.timeoutMS, s.jobFn(op, rid, jtr))
 	if !ok {
 		return
 	}
@@ -656,16 +833,12 @@ type validateResponse struct {
 	Method   string  `json:"method"`
 }
 
-func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
-	s.tr.Counter("http/validate").Inc()
-	var req validateRequest
-	if !s.decodeJSON(w, r, &req) {
-		return
-	}
+// prepareValidate validates a gate-validation request and packages it as
+// a preparedOp.
+func (s *Server) prepareValidate(req *validateRequest) (*preparedOp, error) {
 	d, f, ok := s.lib.Design(req.Gate)
 	if !ok {
-		writeErr(w, http.StatusBadRequest, "unknown gate %q (see GET /v1/gates)", req.Gate)
-		return
+		return nil, fmt.Errorf("unknown gate %q (see GET /v1/gates)", req.Gate)
 	}
 	params := sim.ParamsFig5
 	if req.Params != nil {
@@ -676,26 +849,31 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 		solverName = s.cfg.Solver
 	}
 	if _, err := sim.Lookup(solverName); err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
-		return
+		return nil, err
 	}
-	rid := obs.RequestIDFromContext(r.Context())
-	jtr := s.newJobTracer()
-	fn := func(ctx context.Context) (any, error) {
+	truth := gatelib.TruthOf(f)
+	key := cache.ValidationKey(d, truth, params, solverName)
+	gate := req.Gate
+
+	op := &preparedOp{kind: "validate", key: key, timeoutMS: req.TimeoutMS}
+	op.exec = func(ctx context.Context, jtr *obs.Tracer) (*jobResult, error) {
 		sp := jtr.Start("validate")
 		defer sp.End()
-		if rid != "" {
+		if rid := obs.RequestIDFromContext(ctx); rid != "" {
 			sp.SetAttr("request_id", rid)
 		}
-		sp.SetAttr("gate", req.Gate)
-		v, hit, err := cache.CachedValidate(s.lru, d, gatelib.TruthOf(f), params,
+		sp.SetAttr("gate", gate)
+		v, hit, err := cache.CachedValidate(s.lru, s.tracedPeer(jtr), d, truth, params,
 			gatelib.ValidateOptions{Solver: solverName})
 		if err != nil {
 			return nil, err
 		}
 		sp.SetAttr("cache_hit", hit)
+		if !hit {
+			s.coldSolve("validate")
+		}
 		body, err := json.Marshal(validateResponse{
-			Gate: req.Gate, OK: v.OK, Outputs: v.Outputs,
+			Gate: gate, OK: v.OK, Outputs: v.Outputs,
 			MinGapEV: v.MinGapEV, Method: v.Method,
 		})
 		if err != nil {
@@ -707,7 +885,33 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 		}
 		return &jobResult{body: append(body, '\n'), source: source}, nil
 	}
-	j, ok := s.submit(w, "validate", rid, jtr, req.TimeoutMS, fn)
+	return op, nil
+}
+
+func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
+	s.tr.Counter("http/validate").Inc()
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req validateRequest
+	if !unmarshalBody(w, body, &req) {
+		return
+	}
+	op, err := s.prepareValidate(&req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if s.routeCluster(w, r, op.key, body) {
+		return
+	}
+	if !s.admit(w, "validate") {
+		return
+	}
+	rid := obs.RequestIDFromContext(r.Context())
+	jtr := s.newJobTracer()
+	j, ok := s.submit(w, "validate", rid, jtr, op.timeoutMS, s.jobFn(op, rid, jtr))
 	if !ok {
 		return
 	}
@@ -861,7 +1065,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		obsCount += c
 	}
 	win := s.window.Snapshot()
-	writeJSON(w, code, map[string]any{
+	u := s.utilization()
+	out := map[string]any{
 		"ok":             !draining,
 		"draining":       draining,
 		"uptime_seconds": time.Since(s.started).Seconds(),
@@ -872,6 +1077,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"total":      reqTotal,
 			"errors_5xx": errs5xx,
 			"in_flight":  s.inFlight.Load(),
+		},
+		// Saturation is what admission control keys on and what the fleet
+		// bench and load balancers read: how full the queue+workers are
+		// and which cost classes are currently being shed.
+		"saturation": map[string]any{
+			"queue_depth":    s.queue.Depth(),
+			"queue_capacity": s.cfg.QueueDepth,
+			"jobs_running":   s.queue.Running(),
+			"workers":        s.cfg.Workers,
+			"in_flight":      s.inFlight.Load(),
+			"utilization":    u,
+			"shedding":       sheddingClasses(u),
 		},
 		"latency": map[string]any{
 			"count":  obsCount,
@@ -888,7 +1105,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"p99_ms":     1e3 * win.P99,
 		},
 		"slo": s.slo.Snapshot(),
-	})
+	}
+	if s.node != nil {
+		out["cluster"] = s.node.Status()
+	}
+	writeJSON(w, code, out)
 }
 
 // metricHelp maps sanitized Prometheus family names to their HELP text.
@@ -938,6 +1159,22 @@ var metricHelp = map[string]string{
 	"pnr_exact_size_solve_seconds":       "Exact P&R per-aspect-ratio SAT solve time, by SAT/UNSAT status.",
 	"sim_quickexact_prune_rate":          "QuickExact fraction of search nodes pruned (bound + stability).",
 	"sim_quickexact_presolve_fixed_frac": "QuickExact fraction of free dots fixed by presolve.",
+	"cluster_peer_up":                    "Probed liveness per peer: 1 alive, 0 dead.",
+	"cluster_ring_members":               "Live members in the consistent-hash ring (including self).",
+	"cluster_probe_failures_total":       "Failed peer health probes.",
+	"cluster_peer_requests_total":        "Peer-cache protocol operations by op (get/put) and outcome (hit/miss/ok/error).",
+	"cluster_forwarded_total":            "Requests forwarded to their key's owner replica, by outcome.",
+	"cluster_singleflight_merged_total":  "Executions that coalesced onto another identical in-flight execution.",
+	"admission_shed_total":               "Requests shed by cost-class admission control, by class.",
+	"admission_utilization":              "Queue+worker utilization sampled at admission decisions (1 = saturated).",
+	"jobs_cold_solves_total":             "Jobs that performed real local computation (no cache tier or coalescing served them), by kind.",
+	"batch_items_total":                  "Batch sub-requests by outcome (ok/error).",
+	"batch_deduped_total":                "Batch sub-requests answered by another identical item in the same batch.",
+	"cache_peer_breaker_state":           "Peer-cache circuit breaker state: 0 closed, 1 half-open, 2 open (fleet cache bypassed).",
+	"cache_peer_breaker_trips_total":     "Times the peer-cache breaker tripped open.",
+	"cache_peer_retries_total":           "Peer-cache operations retried after a transient failure.",
+	"cache_peer_io_errors_total":         "Peer-cache operation failures (each attempt, before retry).",
+	"cache_peer_short_circuits_total":    "Peer-cache operations skipped because the breaker was open.",
 }
 
 // handleMetrics renders every tracer metric in the Prometheus text

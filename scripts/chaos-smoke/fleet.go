@@ -1,0 +1,305 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// fleetScenario is the replica-death chaos test: boot a three-replica
+// fleet, storm it from concurrent clients, and SIGKILL one replica while
+// requests are in flight. The fleet must degrade, not die:
+//
+//   - requests to the survivors keep succeeding (forwarding to the dead
+//     owner falls back to a local solve),
+//   - no request hangs (a hard client timeout bounds every call),
+//   - survivors mark the dead peer down within the probe window and
+//     rebalance the ring around it,
+//   - survivor queues drain back to zero — no job is stuck waiting on
+//     the dead replica,
+//   - the survivors still drain and exit cleanly on SIGTERM.
+func fleetScenario(bin string) {
+	step("fleet: starting 3 mutually-peered replicas")
+	const secret = "chaos-fleet"
+	addrs := []string{freeAddr(), freeAddr(), freeAddr()}
+	procs := make([]*exec.Cmd, len(addrs))
+	for i, a := range addrs {
+		var peers []string
+		for j, p := range addrs {
+			if j != i {
+				peers = append(peers, p)
+			}
+		}
+		procs[i] = exec.Command(bin,
+			"-addr", a,
+			"-workers", "2",
+			"-peers", strings.Join(peers, ","),
+			"-cluster-secret", secret,
+			"-probe-interval", "200ms",
+			"-log-level", "warn",
+		)
+		procs[i].Stdout, procs[i].Stderr = nil, nil
+		if err := procs[i].Start(); err != nil {
+			fatal(err)
+		}
+	}
+	defer func() {
+		for _, p := range procs {
+			if p != nil && p.Process != nil {
+				p.Process.Kill()
+			}
+		}
+	}()
+
+	targets := make([]string, len(addrs))
+	for i, a := range addrs {
+		targets[i] = "http://" + a
+		fleetWaitHealthy(targets[i], 30*time.Second)
+	}
+	fleetWaitFormed(targets, len(targets), 15*time.Second)
+
+	var gatesResp struct {
+		Gates []string `json:"gates"`
+	}
+	fleetGetJSON(targets[0], "/v1/gates", &gatesResp)
+	if len(gatesResp.Gates) == 0 {
+		fatal(fmt.Errorf("fleet: empty gate library"))
+	}
+	gates := gatesResp.Gates
+	if len(gates) > 6 {
+		gates = gates[:6]
+	}
+
+	step("fleet: storm with SIGKILL of one replica mid-flight")
+	// The victim is killed -- not drained -- so in-flight forwards to it
+	// fail at the transport layer and survivors must fall back locally.
+	const victim = 2
+	// A request that outlives this timeout counts as hung; the acceptance
+	// bar is "zero hung jobs", so the timeout is generous but hard.
+	client := &http.Client{Timeout: 15 * time.Second}
+
+	const clients = 6
+	const rounds = 4
+	var mu sync.Mutex
+	var ok, deadTargetErrs, survivorErrs int
+	var firstSurvivorErr error
+	killed := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for i, g := range gates {
+					ti := (c + r + i) % len(targets)
+					path := "/v1/simulate"
+					if (c+i)%2 == 0 {
+						path = "/v1/gates/validate"
+					}
+					code, err := fleetPost(client, targets[ti], path, map[string]any{"gate": g})
+					mu.Lock()
+					switch {
+					case err == nil && code == http.StatusOK:
+						ok++
+					case ti == victim && isKilled(killed):
+						// Requests addressed to the corpse may fail; that is
+						// the client's problem, not the fleet's.
+						deadTargetErrs++
+					default:
+						survivorErrs++
+						if firstSurvivorErr == nil {
+							if err == nil {
+								err = fmt.Errorf("POST %s %s: status %d", targets[ti], path, code)
+							}
+							firstSurvivorErr = err
+						}
+					}
+					mu.Unlock()
+				}
+			}
+		}(c)
+	}
+
+	// Let the storm establish, then murder the victim with no warning.
+	time.Sleep(500 * time.Millisecond)
+	if err := procs[victim].Process.Signal(syscall.SIGKILL); err != nil {
+		fatal(fmt.Errorf("fleet: SIGKILL: %w", err))
+	}
+	procs[victim].Wait()
+	close(killed)
+	wg.Wait()
+
+	if survivorErrs > 0 {
+		fatal(fmt.Errorf("fleet: %d requests to surviving replicas failed (first: %v); survivors must absorb a dead peer", survivorErrs, firstSurvivorErr))
+	}
+	if ok == 0 {
+		fatal(fmt.Errorf("fleet: storm produced no successful requests"))
+	}
+	fmt.Printf("chaos-smoke: fleet storm: %d ok, %d dead-target errors, 0 survivor errors\n", ok, deadTargetErrs)
+
+	step("fleet: survivors must mark the dead peer down and rebalance")
+	survivors := []string{targets[0], targets[1]}
+	deadline := time.Now().Add(10 * time.Second)
+	for _, t := range survivors {
+		for {
+			var h fleetHealth
+			fleetGetJSON(t, "/healthz", &h)
+			deadSeen := false
+			for _, m := range h.Cluster.Members {
+				if m.Addr == addrs[victim] && !m.Alive {
+					deadSeen = true
+				}
+			}
+			if deadSeen && h.Cluster.RingMembers == len(targets)-1 {
+				break
+			}
+			if time.Now().After(deadline) {
+				fatal(fmt.Errorf("fleet: %s never marked %s dead (ring_members=%d)", t, addrs[victim], h.Cluster.RingMembers))
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+
+	step("fleet: survivor queues must drain to zero")
+	deadline = time.Now().Add(30 * time.Second)
+	for _, t := range survivors {
+		for {
+			var h fleetHealth
+			fleetGetJSON(t, "/healthz", &h)
+			if h.Saturation.QueueDepth == 0 && h.Saturation.JobsRunning == 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				fatal(fmt.Errorf("fleet: %s still has queue_depth=%d jobs_running=%d; hung jobs after replica death",
+					t, h.Saturation.QueueDepth, h.Saturation.JobsRunning))
+			}
+			time.Sleep(200 * time.Millisecond)
+		}
+	}
+
+	// Fresh work must still succeed on the rebalanced two-node ring.
+	for _, t := range survivors {
+		code, err := fleetPost(client, t, "/v1/simulate", map[string]any{"gate": gates[0]})
+		if err != nil || code != http.StatusOK {
+			fatal(fmt.Errorf("fleet: post-death request to %s: code %d err %v", t, code, err))
+		}
+	}
+
+	step("fleet: SIGTERM survivors; both must drain and exit cleanly")
+	for i, t := range survivors {
+		if err := procs[i].Process.Signal(syscall.SIGTERM); err != nil {
+			fatal(err)
+		}
+		exited := make(chan error, 1)
+		go func(i int) { exited <- procs[i].Wait() }(i)
+		select {
+		case err := <-exited:
+			if err != nil {
+				fatal(fmt.Errorf("fleet: survivor %s exit: %w", t, err))
+			}
+		case <-time.After(30 * time.Second):
+			fatal(fmt.Errorf("fleet: survivor %s did not exit within 30s of SIGTERM", t))
+		}
+		procs[i] = nil
+	}
+	fmt.Println("chaos-smoke: fleet replica-death scenario passed")
+}
+
+type fleetHealth struct {
+	Saturation struct {
+		QueueDepth  int `json:"queue_depth"`
+		JobsRunning int `json:"jobs_running"`
+	} `json:"saturation"`
+	Cluster struct {
+		RingMembers int `json:"ring_members"`
+		Members     []struct {
+			Addr  string `json:"addr"`
+			Alive bool   `json:"alive"`
+		} `json:"members"`
+	} `json:"cluster"`
+}
+
+func isKilled(killed chan struct{}) bool {
+	select {
+	case <-killed:
+		return true
+	default:
+		return false
+	}
+}
+
+func fleetPost(client *http.Client, target, path string, payload any) (int, error) {
+	b, _ := json.Marshal(payload)
+	resp, err := client.Post(target+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+func fleetGetJSON(target, path string, v any) {
+	resp, err := http.Get(target + path)
+	if err != nil {
+		fatal(fmt.Errorf("GET %s%s: %w", target, path, err))
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		fatal(fmt.Errorf("GET %s%s: %w", target, path, err))
+	}
+}
+
+func fleetWaitHealthy(target string, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(target + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	fatal(fmt.Errorf("fleet: replica never became healthy at %s", target))
+}
+
+func fleetWaitFormed(targets []string, n int, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		formed := 0
+		for _, t := range targets {
+			var h fleetHealth
+			resp, err := http.Get(t + "/healthz")
+			if err != nil {
+				break
+			}
+			err = json.NewDecoder(resp.Body).Decode(&h)
+			resp.Body.Close()
+			if err != nil || h.Cluster.RingMembers != n {
+				break
+			}
+			alive := true
+			for _, m := range h.Cluster.Members {
+				alive = alive && m.Alive
+			}
+			if !alive {
+				break
+			}
+			formed++
+		}
+		if formed == len(targets) {
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	fatal(fmt.Errorf("fleet: never formed a full ring of %d within %s", n, timeout))
+}

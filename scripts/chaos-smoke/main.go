@@ -14,6 +14,12 @@
 //     disk breaker gauges with nonzero panic/degrade counts,
 //   - SIGTERM still drains and exits cleanly.
 //
+// A second phase boots a three-replica fleet and SIGKILLs one replica in
+// the middle of a request storm: survivors must keep answering (falling
+// back to local solves when the dead owner is unreachable), mark the
+// peer dead within the probe window, rebalance the ring, drain their
+// queues to zero, and still exit cleanly on SIGTERM (see fleet.go).
+//
 // Run from the repository root:
 //
 //	go run ./scripts/chaos-smoke
@@ -290,6 +296,9 @@ func main() {
 	case <-time.After(30 * time.Second):
 		fatal(fmt.Errorf("daemon did not exit within 30s of SIGTERM"))
 	}
+
+	// Phase 2: a clustered fleet must survive losing a replica mid-storm.
+	fleetScenario(bin)
 
 	fmt.Println("chaos-smoke: PASS")
 }
