@@ -25,6 +25,14 @@ const (
 )
 
 // Config describes this replica's place in the fleet.
+//
+// Transport security: all intra-fleet traffic — probes, peer-cache
+// operations, forwarded requests — is plaintext HTTP. The shared secret
+// authenticates peers; it does not encrypt anything, and it crosses the
+// wire in a header on every internal request. Fleets must therefore run
+// on a trusted network segment (one host, or a private LAN/VPC with the
+// internal ports firewalled); do not span untrusted networks without an
+// encrypting tunnel (VPN, mesh sidecar) in between.
 type Config struct {
 	// Self is this replica's advertised address (host:port) — the address
 	// peers use to reach it. Required.

@@ -41,6 +41,14 @@ type Result struct {
 // waiters and is abandoned (its context canceled) only when the last
 // waiter leaves.
 //
+// The run inherits the deadline of the caller that started it, and a
+// context deadline cannot be extended afterwards — so a joiner with a
+// longer budget shares the starter's (shorter) one and may receive
+// DeadlineExceeded while its own context is still live. A joiner that
+// observes shared == true, a DeadlineExceeded error, and a live ctx
+// should call Do again to run under its own budget (the service layer
+// does exactly this; see runCoalesced).
+//
 // fn must not panic-propagate: it runs on a group-owned goroutine, so a
 // panic there would crash the process. Wrap recovery inside fn.
 func (g *Group) Do(ctx context.Context, key string, fn func(ctx context.Context) (any, error)) (any, bool, error) {

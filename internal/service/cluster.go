@@ -3,13 +3,18 @@ package service
 import (
 	"bytes"
 	"context"
+	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/obs/obslog"
 )
 
 // clusterPeerHeader tells the client which replica actually served a
@@ -28,21 +33,34 @@ const clusterPeerHeader = "X-Cluster-Peer"
 // hits are cheaper served here than over the wire). A transport failure
 // also falls back to local handling — the fleet degrades to independent
 // replicas, never to unavailability.
-func (s *Server) routeCluster(w http.ResponseWriter, r *http.Request, key cache.Key, body []byte) bool {
-	if s.node == nil || key == "" {
+//
+// The forward is bounded by the same deadline the owner would apply to
+// the job (timeout_ms clamped to JobTimeout) plus slack for queueing and
+// transfer: an owner that accepts the connection but never answers (a
+// stopped process holds its listener open, invisible to probes until the
+// next round) must time out into the local fallback, not hang the client
+// — local execution is deadline-bounded, so forwarding must be too.
+func (s *Server) routeCluster(w http.ResponseWriter, r *http.Request, op *preparedOp, body []byte) bool {
+	if s.node == nil || op.key == "" {
 		return false
 	}
 	if r.Header.Get(cluster.ForwardedHeader) != "" {
 		return false
 	}
-	owner, self := s.node.Owner(string(key))
+	owner, self := s.node.Owner(string(op.key))
 	if self || owner == "" {
 		return false
 	}
-	if s.lru.Contains(key) {
+	if s.lru.Contains(op.key) {
 		return false
 	}
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+	ctx := r.Context()
+	if d := s.forwardTimeout(op.timeoutMS); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		"http://"+owner+r.URL.Path, bytes.NewReader(body))
 	if err != nil {
 		return false
@@ -54,7 +72,11 @@ func (s *Server) routeCluster(w http.ResponseWriter, r *http.Request, key cache.
 	}
 	resp, err := s.node.Client().Do(req)
 	if err != nil {
-		s.tr.Counter(obs.Labeled("cluster/forwarded_total", "outcome", "error")).Inc()
+		outcome := "error"
+		if errors.Is(err, context.DeadlineExceeded) {
+			outcome = "timeout"
+		}
+		s.tr.Counter(obs.Labeled("cluster/forwarded_total", "outcome", outcome)).Inc()
 		return false
 	}
 	defer resp.Body.Close()
@@ -70,6 +92,56 @@ func (s *Server) routeCluster(w http.ResponseWriter, r *http.Request, key cache.
 	return true
 }
 
+// forwardSlack is the headroom a forwarded request gets beyond the job
+// deadline the owner will apply, covering the owner's queue wait and the
+// response transfer. A var so tests can shrink it.
+var forwardSlack = 2 * time.Second
+
+// forwardTimeout returns the deadline budget for one forwarded request:
+// the effective job timeout the owner replica would apply (the request's
+// timeout_ms clamped to JobTimeout, exactly like submit) plus
+// forwardSlack. Zero means no bound is configured anywhere — the
+// operator ran the daemon without deadlines, and forwarding inherits
+// that choice.
+func (s *Server) forwardTimeout(timeoutMS int64) time.Duration {
+	t := time.Duration(timeoutMS) * time.Millisecond
+	if s.cfg.JobTimeout > 0 && (t <= 0 || t > s.cfg.JobTimeout) {
+		t = s.cfg.JobTimeout
+	}
+	if t <= 0 {
+		return 0
+	}
+	return t + forwardSlack
+}
+
+// safeExec runs op.exec with panic isolation, converting a panic into
+// the queue's PanicError so it surfaces as error_kind "panic" instead of
+// killing the process. Two execution paths run outside safeRun's
+// worker-scoped recover and depend on this guard: single-flight runs
+// (group-owned goroutines) and batch fan-out (raw goroutines inside one
+// queue job) — including keyless items, which skip the group entirely.
+func (s *Server) safeExec(ctx context.Context, op *preparedOp, jtr *obs.Tracer) (jr *jobResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe := newPanicError(r)
+			jr, err = nil, pe
+			s.tr.Counter("jobs/panicked_total").Inc()
+			s.log.Error("job_panic",
+				obslog.F("kind", op.kind),
+				obslog.F("request_id", obs.RequestIDFromContext(ctx)),
+				obslog.F("panic", fmt.Sprint(r)),
+				obslog.F("stack", string(pe.Stack)))
+		}
+	}()
+	// Stands in for any latent bug an exec path can tickle; chaos tests
+	// arm it to prove the recovery above (safeRun's point only covers the
+	// worker goroutine itself).
+	if faults.Should("service.exec.panic") {
+		panic("injected fault: service.exec.panic")
+	}
+	return op.exec(ctx, jtr)
+}
+
 // runCoalesced executes op.exec through the fleet single-flight group
 // when the op has a cache key: concurrent identical executions — from
 // direct requests, forwarded requests, and batch items alike — collapse
@@ -78,20 +150,29 @@ func (s *Server) routeCluster(w http.ResponseWriter, r *http.Request, key cache.
 // itself is abandoned only when its last participant is gone.
 func (s *Server) runCoalesced(ctx context.Context, op *preparedOp, jtr *obs.Tracer) (*jobResult, error) {
 	if op.key == "" {
-		return op.exec(ctx, jtr)
+		// Keyless ops (nocache, custom library) skip coalescing but still
+		// need the panic guard: batch fan-out reaches here on goroutines
+		// with no other recover between the panic and the runtime.
+		return s.safeExec(ctx, op, jtr)
 	}
-	v, shared, err := s.single.Do(ctx, string(op.key), func(runCtx context.Context) (val any, err error) {
-		// The run executes on a group-owned goroutine outside the worker
-		// pool's panic isolation; convert panics to the queue's PanicError
-		// so they surface as error_kind "panic" instead of killing the
-		// process.
-		defer func() {
-			if r := recover(); r != nil {
-				val, err = nil, newPanicError(r)
-			}
-		}()
-		return op.exec(runCtx, jtr)
-	})
+	fn := func(runCtx context.Context) (any, error) {
+		jr, err := s.safeExec(runCtx, op, jtr)
+		if err != nil {
+			// Untyped nil: a typed-nil *jobResult inside the any would pass
+			// the type assertion below.
+			return nil, err
+		}
+		return jr, nil
+	}
+	v, shared, err := s.single.Do(ctx, string(op.key), fn)
+	if err != nil && shared && ctx.Err() == nil && errors.Is(err, context.DeadlineExceeded) {
+		// The run this caller joined inherited its starter's deadline,
+		// which may have been shorter than ours: the starter timing out
+		// must not fail a joiner that still has budget. Retry once under
+		// our own deadline (the fresh run may itself be joined by others).
+		s.tr.Counter("cluster/singleflight_rerun_total").Inc()
+		v, shared, err = s.single.Do(ctx, string(op.key), fn)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -224,7 +305,16 @@ func (s *Server) handleInternalCachePut(w http.ResponseWriter, r *http.Request) 
 	}
 	b, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxInternalEntryBytes))
 	if err != nil {
-		writeErr(w, http.StatusRequestEntityTooLarge, "cache entry too large")
+		// Only an actual size overrun is a 413; a peer disconnecting or a
+		// transport read error is a plain bad request (mirroring readBody),
+		// so logs and peer metrics don't misreport entry sizes.
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				"cache entry exceeds %d bytes", mbe.Limit)
+			return
+		}
+		writeErr(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
 	k := cache.Key(key)

@@ -4,15 +4,19 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/obs"
 )
 
@@ -436,6 +440,214 @@ func TestClusterForwardingLocalFallback(t *testing.T) {
 	}
 	if got := servers[nonOwner].tr.Counter(obs.Labeled("cluster/forwarded_total", "outcome", "error")).Value(); got == 0 {
 		t.Fatal("forward error counter not incremented")
+	}
+}
+
+// TestBatchKeylessPanicIsolated: a keyless (nocache) batch item executes
+// on a raw fan-out goroutine outside the worker pool's recover; a panic
+// there must become that item's error, not kill the process.
+func TestBatchKeylessPanicIsolated(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	if err := faults.Arm("service.exec.panic=always", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer faults.Disarm()
+
+	flowReq, _ := json.Marshal(map[string]any{"bench": "xor2", "engine": "ortho", "nocache": true})
+	resp, body := postJSON(t, ts.URL+"/v1/batch", map[string]any{
+		"items": []map[string]any{{"op": "flow", "request": json.RawMessage(flowReq)}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %d %s", resp.StatusCode, body)
+	}
+	var br batchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Items[0].Status != "error" || br.Items[0].ErrorKind != ErrKindPanic {
+		t.Fatalf("keyless panicking item: %+v", br.Items[0])
+	}
+	if got := s.tr.Counter("jobs/panicked_total").Value(); got == 0 {
+		t.Fatal("exec panic not counted in jobs_panicked_total")
+	}
+
+	// The daemon survived: a healthy request still completes.
+	faults.Disarm()
+	resp, body = postJSON(t, ts.URL+"/v1/simulate", fourDots())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("follow-up request after panic: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestClusterForwardTimesOutToLocalFallback: an owner that accepts the
+// connection but never answers (a stopped process holds its listener
+// open; probes only notice later) must not hang the client — the
+// forward deadline expires and the request is solved locally.
+func TestClusterForwardTimesOutToLocalFallback(t *testing.T) {
+	hangL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hang := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	})}
+	go hang.Serve(hangL)
+	defer hang.Close()
+	hangAddr := hangL.Addr().String()
+
+	selfL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	selfAddr := selfL.Addr().String()
+	s, err := New(Config{Workers: 2, JobTimeout: 2 * time.Second, Cluster: &cluster.Config{
+		Self:  selfAddr,
+		Peers: []string{hangAddr},
+		// One probe round runs at startup (one strike; two mark a peer
+		// dead), then nothing for the rest of the test: the hung peer
+		// stays in the ring, as it would in the window before detection.
+		ProbeInterval: time.Hour,
+		ProbeTimeout:  10 * time.Millisecond,
+		// The local fallback's cache lookup consults the hung owner too;
+		// keep that bounded so it doesn't eat the local job budget.
+		PeerTimeout: 10 * time.Millisecond,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(selfL)
+	t.Cleanup(func() {
+		s.node.Stop()
+		hs.Close()
+	})
+
+	oldSlack := forwardSlack
+	forwardSlack = 100 * time.Millisecond
+	t.Cleanup(func() { forwardSlack = oldSlack })
+
+	// Find a payload the hung peer owns, so the request forwards. The
+	// request's own timeout_ms (clamped to JobTimeout) drives the forward
+	// deadline, so the hang resolves in ~400ms.
+	payload := fourDots()
+	payload["timeout_ms"] = 300
+	for i := 0; ; i++ {
+		if i > 200 {
+			t.Fatal("no candidate payload owned by the hung peer")
+		}
+		b, err := json.Marshal(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var simReq simulateRequest
+		if err := json.Unmarshal(b, &simReq); err != nil {
+			t.Fatal(err)
+		}
+		op, err := s.prepareSimulate(&simReq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if owner, self := s.node.Owner(string(op.key)); !self && owner == hangAddr {
+			break
+		}
+		payload = fourDots()
+		payload["timeout_ms"] = 300
+		payload["dots"] = append(payload["dots"].([]map[string]any),
+			map[string]any{"x": 8 + i, "y": 4, "role": "perturber"})
+	}
+
+	start := time.Now()
+	resp, body := postJSON(t, "http://"+selfAddr+"/v1/simulate", payload)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fallback after forward timeout: %d %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get(clusterPeerHeader); got != "" {
+		t.Fatalf("X-Cluster-Peer %q on a timed-out forward; want local handling", got)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("request took %v; the forward deadline did not bound the hang", elapsed)
+	}
+	if got := s.tr.Counter(obs.Labeled("cluster/forwarded_total", "outcome", "timeout")).Value(); got != 1 {
+		t.Fatalf("forwarded timeout count = %d; want 1", got)
+	}
+	if got := s.tr.Counter(obs.Labeled("jobs/cold_solves_total", "kind", "simulate")).Value(); got != 1 {
+		t.Fatalf("local cold solves = %d; want 1 (fallback solved here)", got)
+	}
+}
+
+// TestRunCoalescedRerunsAfterLeaderDeadline: a joiner with a longer
+// budget than the starter must not inherit the starter's
+// DeadlineExceeded — it retries once under its own deadline.
+func TestRunCoalescedRerunsAfterLeaderDeadline(t *testing.T) {
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int32
+	started := make(chan struct{})
+	op := &preparedOp{kind: "simulate", key: "sim:deadline-test"}
+	op.exec = func(ctx context.Context, jtr *obs.Tracer) (*jobResult, error) {
+		if calls.Add(1) == 1 {
+			close(started)
+			<-ctx.Done() // burn the starter's whole (short) budget
+			return nil, ctx.Err()
+		}
+		return &jobResult{body: []byte("ok"), source: "miss"}, nil
+	}
+
+	leaderErr := make(chan error, 1)
+	ctxA, cancelA := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancelA()
+	go func() {
+		_, err := s.runCoalesced(ctxA, op, obs.New())
+		leaderErr <- err
+	}()
+	<-started
+
+	ctxB, cancelB := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancelB()
+	jr, err := s.runCoalesced(ctxB, op, obs.New())
+	if err != nil {
+		t.Fatalf("joiner with live budget failed: %v", err)
+	}
+	if string(jr.body) != "ok" {
+		t.Fatalf("joiner result %q; want the rerun's result", jr.body)
+	}
+	if err := <-leaderErr; !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("starter error = %v; want DeadlineExceeded", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("exec calls = %d; want 2 (expired run + rerun)", got)
+	}
+	if got := s.tr.Counter("cluster/singleflight_rerun_total").Value(); got != 1 {
+		t.Fatalf("singleflight rerun count = %d; want 1", got)
+	}
+}
+
+type errorReader struct{}
+
+func (errorReader) Read([]byte) (int, error) { return 0, errors.New("peer connection reset") }
+
+// TestInternalCachePutErrorClassification: only a genuine size overrun
+// is a 413; a mid-body read failure is a 400.
+func TestInternalCachePutErrorClassification(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 1})
+
+	big := bytes.Repeat([]byte("x"), maxInternalEntryBytes+1)
+	req := httptest.NewRequest(http.MethodPut, "/internal/cache/"+testCacheKey, bytes.NewReader(big))
+	req.RemoteAddr = "127.0.0.1:9999"
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized entry: %d; want 413", rec.Code)
+	}
+
+	req = httptest.NewRequest(http.MethodPut, "/internal/cache/"+testCacheKey, errorReader{})
+	req.RemoteAddr = "127.0.0.1:9999"
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("read failure: %d; want 400, not a bogus 413", rec.Code)
 	}
 }
 

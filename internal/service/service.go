@@ -602,7 +602,7 @@ func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 	}
 	// Async jobs are polled on the replica that accepted them, so they
 	// must run (and be admitted) locally rather than forwarded.
-	if !req.Async && s.routeCluster(w, r, op.key, body) {
+	if !req.Async && s.routeCluster(w, r, op, body) {
 		return
 	}
 	if !s.admit(w, "flow") {
@@ -792,7 +792,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if !req.Async && s.routeCluster(w, r, op.key, body) {
+	if !req.Async && s.routeCluster(w, r, op, body) {
 		return
 	}
 	if !s.admit(w, "simulate") {
@@ -903,7 +903,7 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if s.routeCluster(w, r, op.key, body) {
+	if s.routeCluster(w, r, op, body) {
 		return
 	}
 	if !s.admit(w, "validate") {
@@ -1165,6 +1165,7 @@ var metricHelp = map[string]string{
 	"cluster_peer_requests_total":        "Peer-cache protocol operations by op (get/put) and outcome (hit/miss/ok/error).",
 	"cluster_forwarded_total":            "Requests forwarded to their key's owner replica, by outcome.",
 	"cluster_singleflight_merged_total":  "Executions that coalesced onto another identical in-flight execution.",
+	"cluster_singleflight_rerun_total":   "Coalesced executions retried under the joiner's own deadline after the starter's shorter deadline expired.",
 	"admission_shed_total":               "Requests shed by cost-class admission control, by class.",
 	"admission_utilization":              "Queue+worker utilization sampled at admission decisions (1 = saturated).",
 	"jobs_cold_solves_total":             "Jobs that performed real local computation (no cache tier or coalescing served them), by kind.",
