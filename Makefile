@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race bench bench-sim bench-cache bench-service bench-fleet bench-pnr bench-engines table1 serve serve-smoke chaos-smoke clean
+.PHONY: all build test check race bench bench-sim bench-cache bench-service bench-fleet bench-pnr bench-engines bench-defects table1 serve serve-smoke chaos-smoke clean
 
 all: build
 
@@ -21,6 +21,7 @@ check:
 	$(GO) test -race -short ./...
 	$(GO) test -race -run 'TestDeterministicAcrossRunsAndWorkers|TestLargeInstanceExact|TestParallelMatchesSerial|TestSweepMetrics' \
 		./internal/sim/quickexact ./internal/opdomain
+	$(GO) test -race -run 'TestSweepDeterministicAcrossWorkers|TestSweepCancellation' ./internal/defects/sweep
 
 # race runs the complete suite under the race detector (slow).
 race:
@@ -69,6 +70,13 @@ bench-pnr:
 # engine. Writes BENCH_engines.json. Reduce with BENCHENGINES_FLAGS="-limit 6".
 bench-engines:
 	$(GO) run ./cmd/benchengines $(BENCHENGINES_FLAGS)
+
+# bench-defects runs the defect yield sweep: random surfaces at each
+# density, the full gate library validated against each, plus small
+# whole-flow yield probes. Writes BENCH_defects.json. Reduce with e.g.
+# BENCHDEFECTS_FLAGS="-densities 0.2,1,4 -seeds 2 -flows ''".
+bench-defects:
+	$(GO) run ./cmd/defectsweep $(BENCHDEFECTS_FLAGS)
 
 table1:
 	$(GO) run ./cmd/table1

@@ -1,0 +1,146 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/defects"
+	"repro/internal/gatelib"
+	"repro/internal/logic/bench"
+	"repro/internal/sim"
+)
+
+// testSurface builds a small mixed surface; when permuted, the same
+// defects are inserted in reverse order (Surface must canonicalize).
+func testSurface(permuted bool) *defects.Surface {
+	type dd struct {
+		x, y int
+		t    defects.Type
+	}
+	dots := []dd{
+		{5, 9, defects.DB},
+		{12, 3, defects.Siloxane},
+		{30, 11, defects.Arsenic},
+		{2, 40, defects.EtchedDimer},
+	}
+	s := defects.New()
+	if permuted {
+		for i := len(dots) - 1; i >= 0; i-- {
+			s.AddCell(dots[i].x, dots[i].y, dots[i].t)
+		}
+	} else {
+		for _, d := range dots {
+			s.AddCell(d.x, d.y, d.t)
+		}
+	}
+	return s
+}
+
+// TestDefectKeysDivergeFromPristine: a defect-bearing request must never
+// share a cache key with its pristine twin, for all three key kinds —
+// including a neutral-only surface, which changes no electrostatics but
+// still constrains fabrication.
+func TestDefectKeysDivergeFromPristine(t *testing.T) {
+	surf := testSurface(false)
+	neutral := defects.New()
+	neutral.AddCell(12, 3, defects.Siloxane)
+
+	la, _, _ := twoLayouts()
+	kPristine, _ := SimKey(sim.NewEngine(la, sim.ParamsFig5), "exgs")
+	kDefect, _ := SimKey(sim.NewEngineOn(la, sim.ParamsFig5, surf), "exgs")
+	kNeutral, _ := SimKey(sim.NewEngineOn(la, sim.ParamsFig5, neutral), "exgs")
+	if kPristine == kDefect || kPristine == kNeutral || kDefect == kNeutral {
+		t.Fatalf("sim keys collided: pristine=%s defect=%s neutral=%s", kPristine, kDefect, kNeutral)
+	}
+	// NewEngineOn with a nil surface is the pristine engine, same key.
+	kNil, _ := SimKey(sim.NewEngineOn(la, sim.ParamsFig5, nil), "exgs")
+	if kNil != kPristine {
+		t.Fatalf("nil-surface engine hashed differently: %s vs %s", kNil, kPristine)
+	}
+
+	spec, err := bench.ParseBench("golden", xorSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fPristine := FlowKey(spec, core.Options{}, false, false)
+	fDefect := FlowKey(spec, core.Options{Surface: surf}, false, false)
+	fNeutral := FlowKey(spec, core.Options{Surface: neutral}, false, false)
+	if fPristine == fDefect || fPristine == fNeutral || fDefect == fNeutral {
+		t.Fatal("flow keys collided")
+	}
+
+	lib := gatelib.NewLibrary()
+	d, f, ok := lib.Design("wire:iNW:oSE")
+	if !ok {
+		t.Fatal("wire variant missing")
+	}
+	truth := gatelib.TruthOf(f)
+	vPristine := ValidationKey(d, truth, sim.ParamsFig5, "exgs", nil)
+	vDefect := ValidationKey(d, truth, sim.ParamsFig5, "exgs", surf)
+	vNeutral := ValidationKey(d, truth, sim.ParamsFig5, "exgs", neutral)
+	if vPristine == vDefect || vPristine == vNeutral || vDefect == vNeutral {
+		t.Fatal("validation keys collided")
+	}
+}
+
+// TestDefectKeyOrderIndependence: the same defects added in a different
+// order must hash identically everywhere a surface enters a key.
+func TestDefectKeyOrderIndependence(t *testing.T) {
+	a, b := testSurface(false), testSurface(true)
+
+	la, _, _ := twoLayouts()
+	ka, _ := SimKey(sim.NewEngineOn(la, sim.ParamsFig5, a), "exgs")
+	kb, _ := SimKey(sim.NewEngineOn(la, sim.ParamsFig5, b), "exgs")
+	if ka != kb {
+		t.Fatalf("permuted surfaces hashed differently:\n  %s\n  %s", ka, kb)
+	}
+
+	spec, err := bench.ParseBench("golden", xorSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FlowKey(spec, core.Options{Surface: a}, false, false) !=
+		FlowKey(spec, core.Options{Surface: b}, false, false) {
+		t.Fatal("permuted surfaces produced different flow keys")
+	}
+
+	lib := gatelib.NewLibrary()
+	d, f, _ := lib.Design("wire:iNW:oSE")
+	truth := gatelib.TruthOf(f)
+	if ValidationKey(d, truth, sim.ParamsFig5, "exgs", a) !=
+		ValidationKey(d, truth, sim.ParamsFig5, "exgs", b) {
+		t.Fatal("permuted surfaces produced different validation keys")
+	}
+}
+
+// TestDefectKeyGolden pins defect-bearing keys against constants computed
+// in another process: cross-process determinism of the canonical surface
+// serialization. If this fails after an intentional encoding change,
+// every cached defect-bearing artifact is invalidated — update the
+// constants deliberately. The pristine flow golden additionally proves
+// that adding defect support did not disturb pre-defect keys (an empty
+// surface contributes zero bytes to the digest).
+func TestDefectKeyGolden(t *testing.T) {
+	spec, err := bench.ParseBench("golden", xorSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	surf := testSurface(false)
+
+	const wantPristine = Key("flow:603c1db6240d9208ba89c857a7d540708da1363cea6a46c56d0ee9a2f182e206")
+	const wantDefect = Key("flow:e9723304bc81a600849679cc9a143c6144c549888a175c289188ce9c1e69ce20")
+	if got := FlowKey(spec, core.Options{}, false, false); got != wantPristine {
+		t.Fatalf("pristine flow golden changed:\n  got  %s\n  want %s", got, wantPristine)
+	}
+	if got := FlowKey(spec, core.Options{Surface: surf}, false, false); got != wantDefect {
+		t.Fatalf("defect flow golden changed:\n  got  %s\n  want %s", got, wantDefect)
+	}
+
+	lib := gatelib.NewLibrary()
+	d, f, _ := lib.Design("wire:iNW:oSE")
+	truth := gatelib.TruthOf(f)
+	const wantValidate = Key("gate:da052dcb8b8ca831222b4a230e36aed3f546482f7b06bedeadd4a6c4379cfd4d")
+	if got := ValidationKey(d, truth, sim.ParamsFig5, "exgs", surf); got != wantValidate {
+		t.Fatalf("defect validation golden changed:\n  got  %s\n  want %s", got, wantValidate)
+	}
+}

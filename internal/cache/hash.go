@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/defects"
 	"repro/internal/gatelib"
 	"repro/internal/logic/network"
 	"repro/internal/sim"
@@ -91,7 +92,23 @@ func SimKey(e *sim.Engine, solverName string) (Key, []int) {
 		h.boolByte(e.IsFixed(i))
 	}
 	h.str(solverName)
+	hashSurface(h, e.Surface())
 	return h.key("sim"), order
+}
+
+// hashSurface appends the defect surface's canonical serialization to the
+// digest — only when non-empty, so every pristine key (and its golden
+// vector) is byte-identical to the pre-defect encoding while a
+// defect-bearing key can never collide with a pristine one: the pristine
+// stream is a strict prefix and SHA-256 distinguishes lengths. The
+// length prefix keeps distinct surfaces unambiguous.
+func hashSurface(h *hasher, surf *defects.Surface) {
+	if surf.Empty() {
+		return
+	}
+	b := surf.AppendCanonical(nil)
+	h.u64(uint64(len(b)))
+	h.h.Write(b)
 }
 
 // hashXAGInto writes the logic content of an XAG — structure, node kinds,
@@ -163,14 +180,16 @@ func FlowKey(spec *network.XAG, opts core.Options, withSQD, withReport bool) Key
 	h.str(opts.GroundSolver)
 	h.boolByte(withSQD)
 	h.boolByte(withReport)
+	hashSurface(h, opts.Surface)
 	return h.key("flow")
 }
 
 // ValidationKey returns the content address of a standalone gate
 // validation: the tile geometry, the expected truth table (evaluated over
 // all input patterns, so the function is captured by value, not by name),
-// the physical parameters, and the solver choice.
-func ValidationKey(d *gatelib.Design, truth func(uint32) uint32, params sim.Params, solver string) Key {
+// the physical parameters, the solver choice, and the (tile-local) defect
+// surface when present.
+func ValidationKey(d *gatelib.Design, truth func(uint32) uint32, params sim.Params, solver string, surf *defects.Surface) Key {
 	h := newHasher()
 	hashPair := func(p gatelib.Pair) {
 		h.i64(int64(p.X))
@@ -215,5 +234,6 @@ func ValidationKey(d *gatelib.Design, truth func(uint32) uint32, params sim.Para
 	h.f64(params.EpsR)
 	h.f64(params.LambdaTF)
 	h.str(solver)
+	hashSurface(h, surf)
 	return h.key("gate")
 }

@@ -14,7 +14,7 @@ import (
 // value is the full Validation including the per-pattern outputs and the
 // minimum energy gap.
 func CachedValidate(lru *LRU, peer Layer, d *gatelib.Design, truth func(uint32) uint32, params sim.Params, opts gatelib.ValidateOptions) (gatelib.Validation, bool, error) {
-	key := ValidationKey(d, truth, params, opts.Solver)
+	key := ValidationKey(d, truth, params, opts.Solver, opts.Surface)
 	if b, ok := lru.Get(key); ok {
 		var v gatelib.Validation
 		if err := json.Unmarshal(b, &v); err == nil {

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/clocking"
+	"repro/internal/defects"
 	"repro/internal/gatelayout"
 	"repro/internal/gatelib"
 	"repro/internal/logic/bench"
@@ -73,6 +74,13 @@ type Options struct {
 	// backends such as "quickexact" must be linked in (blank import) to
 	// be selectable.
 	GroundSolver string
+	// Surface holds the surface defects in global cell coordinates. When
+	// non-empty, both P&R engines place around afflicted tiles (the exact
+	// engine blocks them in the SAT encoding, the ortho router slides its
+	// result clear during legalization) and the optional cell simulation
+	// includes the charged defects as fixed perturbers. Nil assumes a
+	// pristine surface.
+	Surface *defects.Surface
 	// Tracer receives flow-wide telemetry (stage spans, engine metrics);
 	// nil disables instrumentation with zero overhead.
 	Tracer *obs.Tracer
@@ -195,11 +203,17 @@ func RunContext(ctx context.Context, spec *network.XAG, opts Options) (*Result, 
 	res.Graph = g
 	ex := opts.Exact
 	ex.Tracer = tr
+	// Defect-aware placement: both engines consume the afflicted-tile
+	// predicate derived from the surface (nil when pristine — zero cost).
+	blocker := gatelib.TileBlocker(opts.Surface)
+	if ex.Blocked == nil {
+		ex.Blocked = blocker
+	}
 	sp = tr.Start("pnr")
 	var layout *gatelayout.Layout
 	switch opts.Engine {
 	case EngineOrtho:
-		layout, err = pnr.OrthoContext(ctx, g, tr)
+		layout, _, err = pnr.OrthoAvoiding(ctx, g, tr, blocker, 0)
 		res.EngineUsed = "ortho"
 	case EngineExact:
 		layout, err = pnr.ExactContext(ctx, g, ex)
@@ -232,7 +246,7 @@ func RunContext(ctx context.Context, spec *network.XAG, opts Options) (*Result, 
 		}
 		cancel()
 		if (skipExact || err != nil) && ctx.Err() == nil {
-			layout, err = pnr.OrthoContext(ctx, g, tr)
+			layout, _, err = pnr.OrthoAvoiding(ctx, g, tr, blocker, 0)
 			res.EngineUsed = "ortho"
 			if err == nil && deadlinePressure {
 				res.Degraded = true
@@ -247,6 +261,18 @@ func RunContext(ctx context.Context, spec *network.XAG, opts Options) (*Result, 
 	}
 	res.Layout = layout
 	root.SetAttr("engine", res.EngineUsed)
+
+	// Defect DRC: no used tile may be afflicted. The exact encoding
+	// guarantees this and ortho legalizes for it; the assertion catches
+	// any future engine that forgets the blocker.
+	if blocker != nil {
+		for _, at := range layout.Tiles() {
+			if blocker(at) {
+				return res, fmt.Errorf("core: placed tile %v is afflicted by a surface defect: %w",
+					at, defects.ErrBlocked)
+			}
+		}
+	}
 
 	// Design rule check under the super-tile plan (flow step 6).
 	sp = tr.Start("drc")
@@ -310,7 +336,7 @@ func RunContext(ctx context.Context, spec *network.XAG, opts Options) (*Result, 
 				Tracer: tr,
 			})
 			sp = tr.Start("cellsim")
-			eng := sim.NewEngine(cell, sim.ParamsFig5)
+			eng := sim.NewEngineOn(cell, sim.ParamsFig5, opts.Surface)
 			free := len(eng.FreeIndices())
 			sol, serr := solver.Solve(eng, sim.SolveOptions{Tracer: tr, Ctx: ctx})
 			if serr != nil {

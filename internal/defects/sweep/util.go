@@ -1,0 +1,14 @@
+package sweep
+
+import (
+	"errors"
+	"runtime"
+
+	"repro/internal/defects"
+)
+
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// isBlocked reports whether a flow error is attributable to the defect
+// surface rather than to the design.
+func isBlocked(err error) bool { return errors.Is(err, defects.ErrBlocked) }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/gates"
 
+	"repro/internal/defects"
 	"repro/internal/lattice"
 	"repro/internal/obs"
 	"repro/internal/sidb"
@@ -63,6 +64,17 @@ func OutputPerturber(p Pair) lattice.Site {
 	return lattice.FromCell(p.X+p.DX*(1+OutPerturb), p.Y+PairDY+OutPerturb)
 }
 
+// Failure kinds of a defect-aware validation (Validation.FailKind).
+const (
+	// FailDefectBlocked marks a gate that fails solely because of surface
+	// defects: a dot inside an exclusion zone, or an electrostatic
+	// perturbation that flips the gate while the pristine gate works.
+	FailDefectBlocked = "defect_blocked"
+	// FailLogic marks a gate that computes the wrong function even on a
+	// pristine surface.
+	FailLogic = "logic"
+)
+
 // Validation is the result of a standalone tile simulation (Fig. 5 style).
 type Validation struct {
 	OK bool
@@ -76,6 +88,12 @@ type Validation struct {
 	// Method names the ground-state solver that produced the outputs
 	// ("exgs", "quickexact", "anneal", ...).
 	Method string
+	// FailKind classifies a failure ("" when OK): FailDefectBlocked or
+	// FailLogic.
+	FailKind string `json:",omitempty"`
+	// DefectBlocked reports the gate failed solely because of surface
+	// defects (FailKind == FailDefectBlocked).
+	DefectBlocked bool `json:",omitempty"`
 }
 
 // ValidateOptions tunes Validate.
@@ -85,6 +103,13 @@ type ValidateOptions struct {
 	Solver string
 	// Tracer receives concurrency-safe solver metrics; nil disables them.
 	Tracer *obs.Tracer
+	// Surface holds the surface defects in tile-local cell coordinates
+	// (translate a global surface by the negated tile origin first; see
+	// TileSurface). Nil validates on a pristine surface. Any design or
+	// emulation dot inside a defect's exclusion zone fast-rejects the gate
+	// as FailDefectBlocked before any simulation; charged defects outside
+	// exclusion zones enter the electrostatics as fixed perturbers.
+	Surface *defects.Surface
 }
 
 // Validate simulates the design standalone for every input pattern and
@@ -108,6 +133,15 @@ func ValidateWith(d *Design, truth func(uint32) uint32, params sim.Params, opts 
 	nIn := len(d.Ins)
 	patterns := 1 << nIn
 	v := Validation{OK: true, Outputs: make([]int, patterns), MinGapEV: 1e9}
+	// Exclusion-zone fast-reject: a defect too close to any design dot
+	// makes the gate unfabricable — no simulation needed.
+	if !opts.Surface.Empty() {
+		for _, dot := range d.Layout(0, 0).Dots {
+			if _, blocked := opts.Surface.Blocks(dot.Site); blocked {
+				return blockedValidation(patterns), nil
+			}
+		}
+	}
 	for p := 0; p < patterns; p++ {
 		l := d.Layout(0, 0)
 		for i, in := range d.Ins {
@@ -140,7 +174,20 @@ func ValidateWith(d *Design, truth func(uint32) uint32, params sim.Params, opts 
 				free++
 			}
 		}
-		eng := sim.NewEngine(l, params)
+		// The per-pattern emulation perturbers must be fabricable too.
+		if !opts.Surface.Empty() {
+			blocked := false
+			for _, dot := range l.Dots {
+				if _, b := opts.Surface.Blocks(dot.Site); b {
+					blocked = true
+					break
+				}
+			}
+			if blocked {
+				return blockedValidation(patterns), nil
+			}
+		}
+		eng := sim.NewEngineOn(l, params, opts.Surface)
 		var gs []bool
 		if sol, serr := solver.Solve(eng, sim.SolveOptions{Tracer: opts.Tracer}); serr == nil {
 			gs = sol.Charges
@@ -185,7 +232,32 @@ func ValidateWith(d *Design, truth func(uint32) uint32, params sim.Params, opts 
 	if v.MinGapEV == 1e9 {
 		v.MinGapEV = 0
 	}
+	if !v.OK {
+		v.FailKind = FailLogic
+		// Attribute the failure: if the same gate works on a pristine
+		// surface, the defects broke it. The pristine re-validation runs
+		// only on the failure path, so working gates pay nothing.
+		if !opts.Surface.Empty() {
+			pristine := opts
+			pristine.Surface = nil
+			if pv, perr := ValidateWith(d, truth, params, pristine); perr == nil && pv.OK {
+				v.FailKind = FailDefectBlocked
+				v.DefectBlocked = true
+			}
+		}
+	}
 	return v, nil
+}
+
+// blockedValidation is the result of an exclusion-zone fast-reject: no
+// simulation ran, every output is undefined.
+func blockedValidation(patterns int) Validation {
+	v := Validation{FailKind: FailDefectBlocked, DefectBlocked: true,
+		Outputs: make([]int, patterns)}
+	for i := range v.Outputs {
+		v.Outputs[i] = -1
+	}
+	return v
 }
 
 // String summarizes the validation.

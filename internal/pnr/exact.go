@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/clocking"
+	"repro/internal/defects"
 	"repro/internal/gatelayout"
 	"repro/internal/gates"
 	"repro/internal/hexgrid"
@@ -26,6 +27,13 @@ type ExactOptions struct {
 	// cut off the size is skipped, so the result may lose minimality but
 	// stays correct.
 	ConflictBudget int64
+	// Blocked marks tiles afflicted by surface defects: when non-nil, no
+	// node or wire may occupy a tile for which it returns true (the
+	// encoding adds unit clauses negating every placement and wire
+	// variable there). Offsets are absolute grid coordinates of the
+	// candidate grid, anchored at (0, 0). When the search fails with a
+	// blocker set, the error wraps defects.ErrBlocked.
+	Blocked func(hexgrid.Offset) bool
 	// Tracer receives size-search spans and SAT effort metrics; nil
 	// disables telemetry at no cost.
 	Tracer *obs.Tracer
@@ -122,6 +130,10 @@ func ExactContext(ctx context.Context, g *RGraph, opts ExactOptions) (*gatelayou
 			return nil, fmt.Errorf("pnr: exact search canceled: %w", err)
 		}
 	}
+	if o.Blocked != nil {
+		return nil, fmt.Errorf("pnr: no exact layout within area %d for %s avoiding afflicted tiles: %w",
+			o.MaxArea, g.Name, defects.ErrBlocked)
+	}
 	return nil, fmt.Errorf("pnr: no exact layout within area %d for %s", o.MaxArea, g.Name)
 }
 
@@ -141,6 +153,7 @@ type exactEncoder struct {
 	nodeAt  []sat.Lit // tileIdx -> "tile hosts a node"
 	swapVar map[int]sat.Lit
 	lFalse  sat.Lit
+	blocked func(hexgrid.Offset) bool // defect-afflicted tiles; may be nil
 }
 
 // tileIdx flattens offset coordinates.
@@ -227,6 +240,7 @@ func solveSize(ctx context.Context, g *RGraph, w, h int, o ExactOptions) (layout
 		outSW: map[[2]int]sat.Lit{}, arrNW: map[[2]int]sat.Lit{},
 		arrNE: map[[2]int]sat.Lit{}, emit: map[[2]int]sat.Lit{},
 		swapVar: map[int]sat.Lit{},
+		blocked: o.Blocked,
 	}
 	enc.s.MaxConflicts = o.ConflictBudget
 	enc.lFalse = enc.s.NewVar()
@@ -528,6 +542,25 @@ func (e *exactEncoder) build() {
 					s.AddClause(self.Neg(), other.Neg(), e.arrNW[k].Neg(), e.outSW[k].Neg())
 					s.AddClause(self.Neg(), other.Neg(), e.arrNE[k].Neg(), e.outSW[k])
 				}
+			}
+		}
+	}
+
+	// Defect blocking: afflicted tiles host neither nodes nor wires. Unit
+	// clauses let propagation kill them before any search.
+	if e.blocked != nil {
+		bl := make([]bool, nTiles)
+		for t := 0; t < nTiles; t++ {
+			bl[t] = e.blocked(e.tileAt(t))
+		}
+		for key, xL := range e.x {
+			if bl[key[1]] {
+				s.AddClause(xL.Neg())
+			}
+		}
+		for key, weL := range e.we {
+			if bl[key[1]] {
+				s.AddClause(weL.Neg())
 			}
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/clocking"
+	"repro/internal/defects"
 	"repro/internal/gatelayout"
 	"repro/internal/gates"
 	"repro/internal/hexgrid"
@@ -64,6 +65,52 @@ func OrthoContext(ctx context.Context, g *RGraph, tr *obs.Tracer) (*gatelayout.L
 		sp.SetAttr("peak_tracks", r.peakTracks)
 	}
 	return l, err
+}
+
+// OrthoAvoiding is OrthoContext on a defective surface: it routes
+// greedily as usual, then legalizes the result against the tile blocker
+// by sliding the whole layout right until no used tile is afflicted
+// (the greedy router assigns absolute positions only at materialization,
+// so a uniform x-shift preserves every neighbor relation and the
+// row-based clocking). Returns the legalized layout and the shift
+// applied. When no shift up to maxShift clears the defects, the error
+// wraps defects.ErrBlocked. maxShift <= 0 uses a default of 64 tiles.
+func OrthoAvoiding(ctx context.Context, g *RGraph, tr *obs.Tracer,
+	blocked func(hexgrid.Offset) bool, maxShift int) (*gatelayout.Layout, int, error) {
+	l, err := OrthoContext(ctx, g, tr)
+	if err != nil || blocked == nil {
+		return l, 0, err
+	}
+	if maxShift <= 0 {
+		maxShift = 64
+	}
+	tiles := l.Tiles()
+	for dx := 0; dx <= maxShift; dx++ {
+		clear := true
+		for _, at := range tiles {
+			if blocked(hexgrid.Offset{X: at.X + dx, Y: at.Y}) {
+				clear = false
+				break
+			}
+		}
+		if !clear {
+			continue
+		}
+		if dx == 0 {
+			return l, 0, nil
+		}
+		shifted := gatelayout.New(l.Name, l.Width()+dx, l.Height(), clocking.RowBased{})
+		for _, at := range tiles {
+			tile, _ := l.At(at)
+			if err := shifted.Set(hexgrid.Offset{X: at.X + dx, Y: at.Y}, tile); err != nil {
+				return nil, 0, err
+			}
+		}
+		tr.Counter("pnr/ortho/defect_shifts").Inc()
+		return shifted, dx, nil
+	}
+	return nil, 0, fmt.Errorf("pnr: ortho layout for %s cannot escape afflicted tiles within %d shifts: %w",
+		g.Name, maxShift, defects.ErrBlocked)
 }
 
 type orthoRouter struct {

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"sync"
 
+	"repro/internal/defects"
 	"repro/internal/obs"
 )
 
@@ -282,6 +283,8 @@ func batchErrorKind(err error) string {
 		return ErrKindTimeout
 	case errors.Is(err, context.Canceled):
 		return ErrKindCanceled
+	case errors.Is(err, defects.ErrBlocked):
+		return ErrKindDefectBlocked
 	default:
 		return ErrKindError
 	}

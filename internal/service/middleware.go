@@ -45,7 +45,7 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 func routeLabel(path string) string {
 	switch path {
 	case "/v1/flow", "/v1/simulate", "/v1/gates/validate", "/v1/gates", "/v1/batch",
-		"/healthz", "/metrics", "/debug/flightrecorder":
+		"/v1/defects/sweep", "/healthz", "/metrics", "/debug/flightrecorder":
 		return path
 	}
 	if strings.HasPrefix(path, "/internal/cache/") {
@@ -68,8 +68,9 @@ func routeLabel(path string) string {
 // cheap read.
 func costClass(route string) string {
 	switch route {
-	case "/v1/flow", "/v1/batch":
-		// A batch is billed at its most expensive possible class.
+	case "/v1/flow", "/v1/batch", "/v1/defects/sweep":
+		// A batch is billed at its most expensive possible class, and a
+		// sweep holds a worker at least as long as a flow.
 		return "flow"
 	case "/v1/simulate":
 		return "simulate"

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/defects"
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/obs/obslog"
@@ -80,6 +81,10 @@ const (
 	ErrKindDegraded = "degraded"
 	ErrKindError    = "error"
 	ErrKindNotFound = "not_found"
+	// ErrKindDefectBlocked marks jobs that failed because surface defects
+	// made the layout infeasible (errors wrapping defects.ErrBlocked) —
+	// the design is sound, the surface is not.
+	ErrKindDefectBlocked = "defect_blocked"
 )
 
 // Job is one unit of queued work.
@@ -488,6 +493,11 @@ func (q *Queue) run(j *Job) {
 		j.err = err.Error()
 		j.errKind = ErrKindCanceled
 		q.canceled.Inc()
+	case errors.Is(err, defects.ErrBlocked):
+		j.state = JobFailed
+		j.err = err.Error()
+		j.errKind = ErrKindDefectBlocked
+		q.failed.Inc()
 	default:
 		j.state = JobFailed
 		j.err = err.Error()

@@ -221,6 +221,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("POST /v1/gates/validate", s.handleValidate)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/defects/sweep", s.handleDefectSweep)
 	s.mux.HandleFunc("GET /internal/cache/{key}", s.handleInternalCacheGet)
 	s.mux.HandleFunc("PUT /internal/cache/{key}", s.handleInternalCachePut)
 	s.mux.HandleFunc("GET /v1/gates", s.handleGates)
@@ -477,6 +478,8 @@ type flowRequest struct {
 	// SQD / Report request the SiQAD file and the stage report.
 	SQD    bool `json:"sqd,omitempty"`
 	Report bool `json:"report,omitempty"`
+	// Defects describes surface defects to design around (nil = pristine).
+	Defects *defectsSpec `json:"defects,omitempty"`
 	// TimeoutMS shortens the job deadline; NoCache bypasses the result
 	// cache; Async returns 202 with a job ID instead of waiting.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -537,11 +540,16 @@ func (s *Server) prepareFlow(req *flowRequest) (*preparedOp, error) {
 			return nil, err
 		}
 	}
+	surf, err := req.Defects.surface()
+	if err != nil {
+		return nil, err
+	}
 	baseOpts := core.Options{
 		Engine:        engine,
 		CellSim:       req.CellSim,
 		GroundSolver:  solver,
 		DegradeMargin: s.cfg.DegradeMargin,
+		Surface:       surf,
 	}
 	baseOpts.Exact.MaxArea = req.MaxArea
 	baseOpts.Exact.ConflictBudget = req.ConflictBudget
@@ -641,9 +649,12 @@ type simulateRequest struct {
 		EpsR     float64 `json:"eps_r"`
 		LambdaTF float64 `json:"lambda_tf"`
 	} `json:"params,omitempty"`
-	Solver    string `json:"solver,omitempty"`
-	TimeoutMS int64  `json:"timeout_ms,omitempty"`
-	Async     bool   `json:"async,omitempty"`
+	Solver string `json:"solver,omitempty"`
+	// Defects adds charged surface defects as fixed perturbers (nil =
+	// pristine surface).
+	Defects   *defectsSpec `json:"defects,omitempty"`
+	TimeoutMS int64        `json:"timeout_ms,omitempty"`
+	Async     bool         `json:"async,omitempty"`
 }
 
 type simulateResponse struct {
@@ -652,11 +663,14 @@ type simulateResponse struct {
 	Dots     int     `json:"dots"`
 	FreeDots int     `json:"free_dots"`
 	EnergyEV float64 `json:"energy_ev"`
+	// Defects counts the charged surface defects simulated as fixed
+	// perturbers (omitted when pristine).
+	Defects int `json:"defects,omitempty"`
 	// Degraded reports that the deadline forced a cheaper engine than
 	// requested; the result is best-effort, not provably minimal.
 	Degraded bool `json:"degraded,omitempty"`
 	// Charges[i] is 1 when dot i (request order) is DB- in the ground
-	// state.
+	// state. Defect pseudo-dots are not reported.
 	Charges []int `json:"charges"`
 }
 
@@ -719,11 +733,15 @@ func (s *Server) prepareSimulate(req *simulateRequest) (*preparedOp, error) {
 	if err != nil {
 		return nil, err
 	}
+	surf, err := req.Defects.surface()
+	if err != nil {
+		return nil, err
+	}
 	// Cache outside the ladder: warm hits skip the degradation logic
 	// entirely, and the cache layer refuses to store degraded solutions,
 	// so cached entries are always full-quality.
 	degrading := &sim.Degrading{Inner: inner, Margin: s.cfg.DegradeMargin, Tracer: s.tr}
-	keyEng := sim.NewEngine(layout, params)
+	keyEng := sim.NewEngineOn(layout, params, surf)
 	key, _ := cache.SimKey(keyEng, degrading.Name())
 
 	op := &preparedOp{kind: "simulate", key: key, timeoutMS: req.TimeoutMS}
@@ -739,8 +757,11 @@ func (s *Server) prepareSimulate(req *simulateRequest) (*preparedOp, error) {
 		if rid := obs.RequestIDFromContext(ctx); rid != "" {
 			sp.SetAttr("request_id", rid)
 		}
-		eng := sim.NewEngine(layout, params)
+		eng := sim.NewEngineOn(layout, params, surf)
 		sp.SetAttr("dots", eng.NumDots())
+		if n := eng.NumDots() - eng.NumLayoutDots(); n > 0 {
+			sp.SetAttr("defect_dots", n)
+		}
 		sol, hit, err := cached.SolveTrack(eng, sim.SolveOptions{Ctx: ctx, Tracer: jtr})
 		if err != nil {
 			return nil, err
@@ -750,16 +771,20 @@ func (s *Server) prepareSimulate(req *simulateRequest) (*preparedOp, error) {
 		if !hit {
 			s.coldSolve("simulate")
 		}
+		// Report layout dots only: defect pseudo-dots sit past index
+		// NumLayoutDots-1 and are an implementation detail of the engine.
+		nl := eng.NumLayoutDots()
 		resp := simulateResponse{
 			Solver:   sol.Solver,
 			Exact:    sol.Exact,
-			Dots:     eng.NumDots(),
+			Dots:     nl,
 			FreeDots: len(eng.FreeIndices()),
 			EnergyEV: sol.EnergyEV,
+			Defects:  eng.NumDots() - nl,
 			Degraded: sol.Degraded,
-			Charges:  make([]int, len(sol.Charges)),
+			Charges:  make([]int, nl),
 		}
-		for i, c := range sol.Charges {
+		for i, c := range sol.Charges[:nl] {
 			if c {
 				resp.Charges[i] = 1
 			}
@@ -822,7 +847,10 @@ type validateRequest struct {
 		EpsR     float64 `json:"eps_r"`
 		LambdaTF float64 `json:"lambda_tf"`
 	} `json:"params,omitempty"`
-	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Defects places surface defects in tile-local coordinates (the
+	// gate's own frame, matching GET /v1/gates geometry).
+	Defects   *defectsSpec `json:"defects,omitempty"`
+	TimeoutMS int64        `json:"timeout_ms,omitempty"`
 }
 
 type validateResponse struct {
@@ -831,6 +859,12 @@ type validateResponse struct {
 	Outputs  []int   `json:"outputs"`
 	MinGapEV float64 `json:"min_gap_ev"`
 	Method   string  `json:"method"`
+	// FailKind distinguishes why a gate failed: "defect_blocked" when the
+	// gate is correct on a pristine surface but broken by the requested
+	// defects, "logic" otherwise. Empty on success.
+	FailKind string `json:"fail_kind,omitempty"`
+	// DefectBlocked mirrors FailKind == "defect_blocked".
+	DefectBlocked bool `json:"defect_blocked,omitempty"`
 }
 
 // prepareValidate validates a gate-validation request and packages it as
@@ -851,8 +885,12 @@ func (s *Server) prepareValidate(req *validateRequest) (*preparedOp, error) {
 	if _, err := sim.Lookup(solverName); err != nil {
 		return nil, err
 	}
+	surf, err := req.Defects.surface()
+	if err != nil {
+		return nil, err
+	}
 	truth := gatelib.TruthOf(f)
-	key := cache.ValidationKey(d, truth, params, solverName)
+	key := cache.ValidationKey(d, truth, params, solverName, surf)
 	gate := req.Gate
 
 	op := &preparedOp{kind: "validate", key: key, timeoutMS: req.TimeoutMS}
@@ -864,7 +902,7 @@ func (s *Server) prepareValidate(req *validateRequest) (*preparedOp, error) {
 		}
 		sp.SetAttr("gate", gate)
 		v, hit, err := cache.CachedValidate(s.lru, s.tracedPeer(jtr), d, truth, params,
-			gatelib.ValidateOptions{Solver: solverName})
+			gatelib.ValidateOptions{Solver: solverName, Surface: surf})
 		if err != nil {
 			return nil, err
 		}
@@ -872,9 +910,13 @@ func (s *Server) prepareValidate(req *validateRequest) (*preparedOp, error) {
 		if !hit {
 			s.coldSolve("validate")
 		}
+		if v.DefectBlocked {
+			sp.SetAttr("fail_kind", v.FailKind)
+		}
 		body, err := json.Marshal(validateResponse{
 			Gate: gate, OK: v.OK, Outputs: v.Outputs,
 			MinGapEV: v.MinGapEV, Method: v.Method,
+			FailKind: v.FailKind, DefectBlocked: v.DefectBlocked,
 		})
 		if err != nil {
 			return nil, err

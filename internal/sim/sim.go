@@ -21,6 +21,7 @@ import (
 	"math/rand"
 	"os"
 
+	"repro/internal/defects"
 	"repro/internal/lattice"
 	"repro/internal/obs"
 	"repro/internal/sidb"
@@ -58,28 +59,79 @@ func (p Params) Potential(d float64) float64 {
 }
 
 // Engine computes energies and ground states for a fixed set of dots.
+//
+// Charged surface defects (see NewEngineOn) are represented as extra
+// pinned pseudo-dots appended after the layout's dots, with the pairwise
+// matrix V scaled by each defect's charge. Every solver — exhaustive
+// enumeration, annealing, and the registered exact backends, which all
+// work from IsFixed, V, Energy and flipDelta — therefore sees the defect
+// perturbation without any defect-specific code, and the free-dot count
+// (the solve cost) is unchanged.
 type Engine struct {
 	Params Params
 	Sites  []lattice.Site
 	V      [][]float64 // pairwise interaction energies in eV
-	fixed  []bool      // dots pinned to DB- (perturbers)
+	fixed  []bool      // dots pinned to the charged state (perturbers, defects)
+
+	// nlayout is the number of dots that came from the layout; pseudo-dots
+	// for charged defects occupy indices [nlayout, len(Sites)).
+	nlayout int
+	// scale is the per-dot charge scale: 1 for layout dots (charge -e when
+	// charged), -q for a defect of charge q·e, so V[i][j] = s_i·s_j·|V|
+	// carries the correct interaction sign. Nil when the surface is
+	// pristine (all scales 1).
+	scale []float64
+	// surface is the full defect surface (charged and neutral), kept for
+	// canonical cache hashing. Nil when pristine.
+	surface *defects.Surface
 }
 
 // NewEngine builds an engine for the layout. Perturber dots are pinned to
 // the negative charge state, matching the paper's use of always-charged
 // peripheral perturbers.
 func NewEngine(l *sidb.Layout, params Params) *Engine {
-	n := len(l.Dots)
+	return NewEngineOn(l, params, nil)
+}
+
+// NewEngineOn builds an engine for the layout on a defective surface.
+// Charged defects enter the electrostatics as fixed perturbers through
+// the same screened Coulomb potential — not as free dots, so the solvers
+// search the same-size configuration space as on a pristine surface. A
+// positive defect (scale -q = -1) attracts nearby DB electrons; a
+// negative one repels them. Neutral defects carry no field and are kept
+// only for cache-key identity. A nil or empty surface reproduces
+// NewEngine exactly.
+func NewEngineOn(l *sidb.Layout, params Params, surf *defects.Surface) *Engine {
+	nl := len(l.Dots)
+	charged := surf.Charged()
+	n := nl + len(charged)
 	e := &Engine{
-		Params: params,
-		Sites:  l.Sites(),
-		V:      make([][]float64, n),
-		fixed:  make([]bool, n),
+		Params:  params,
+		Sites:   l.Sites(),
+		V:       make([][]float64, n),
+		fixed:   make([]bool, n),
+		nlayout: nl,
 	}
 	for i, d := range l.Dots {
 		if d.Role == sidb.RolePerturber {
 			e.fixed[i] = true
 		}
+	}
+	if len(charged) > 0 {
+		e.surface = surf
+		e.scale = make([]float64, n)
+		for i := 0; i < nl; i++ {
+			e.scale[i] = 1
+		}
+		for k, d := range charged {
+			e.Sites = append(e.Sites, d.Site)
+			e.fixed[nl+k] = true
+			e.scale[nl+k] = -float64(d.Type.Charge())
+		}
+	} else if !surf.Empty() {
+		// Neutral-only surface: no electrostatic effect, but the surface
+		// still distinguishes the cache key.
+		e.surface = surf
 	}
 	for i := 0; i < n; i++ {
 		e.V[i] = make([]float64, n)
@@ -87,6 +139,9 @@ func NewEngine(l *sidb.Layout, params Params) *Engine {
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			v := params.Potential(lattice.DistanceNM(e.Sites[i], e.Sites[j]))
+			if e.scale != nil {
+				v *= e.scale[i] * e.scale[j]
+			}
 			e.V[i][j] = v
 			e.V[j][i] = v
 		}
@@ -94,8 +149,25 @@ func NewEngine(l *sidb.Layout, params Params) *Engine {
 	return e
 }
 
-// NumDots returns the number of dots.
+// NumDots returns the number of dots, including defect pseudo-dots.
 func (e *Engine) NumDots() int { return len(e.Sites) }
+
+// NumLayoutDots returns the number of dots that came from the layout;
+// indices at and beyond it are charged-defect pseudo-dots.
+func (e *Engine) NumLayoutDots() int { return e.nlayout }
+
+// Surface returns the defect surface the engine was built on (nil when
+// pristine).
+func (e *Engine) Surface() *defects.Surface { return e.surface }
+
+// ChargeScale returns dot i's charge scale: 1 for layout dots, -q for a
+// defect pseudo-dot of charge q·e.
+func (e *Engine) ChargeScale(i int) float64 {
+	if e.scale == nil {
+		return 1
+	}
+	return e.scale[i]
+}
 
 // IsFixed reports whether dot i is pinned to the negative charge state
 // (a perturber).
@@ -113,14 +185,24 @@ func (e *Engine) FreeIndices() []int {
 }
 
 // Energy returns the total configuration energy in eV: pairwise repulsion
-// of charged dots plus μ_ per charged dot.
+// of charged dots plus μ_ per charged dot. Defect pseudo-dots contribute
+// their interaction terms but no transition level — a defect is not a DB
+// with a (-/0) level, it is an external charge.
 func (e *Engine) Energy(charged []bool) float64 {
 	total := 0.0
+	nl := e.nlayout
+	if e.surface == nil && nl == 0 {
+		// Zero-value engines built without a constructor have no
+		// pseudo-dots; every dot is a layout dot.
+		nl = len(charged)
+	}
 	for i := range charged {
 		if !charged[i] {
 			continue
 		}
-		total += e.Params.MuMinus
+		if i < nl {
+			total += e.Params.MuMinus
+		}
 		for j := i + 1; j < len(charged); j++ {
 			if charged[j] {
 				total += e.V[i][j]

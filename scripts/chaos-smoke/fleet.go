@@ -128,12 +128,15 @@ func fleetScenario(bin string) {
 	}
 
 	// Let the storm establish, then murder the victim with no warning.
+	// Mark it dead before delivering the signal: in-flight requests to the
+	// victim EOF as soon as the kernel reaps it — before Wait() returns —
+	// and must not be misclassified as survivor errors.
 	time.Sleep(500 * time.Millisecond)
+	close(killed)
 	if err := procs[victim].Process.Signal(syscall.SIGKILL); err != nil {
 		fatal(fmt.Errorf("fleet: SIGKILL: %w", err))
 	}
 	procs[victim].Wait()
-	close(killed)
 	wg.Wait()
 
 	if survivorErrs > 0 {

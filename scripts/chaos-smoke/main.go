@@ -12,6 +12,9 @@
 //     pool keeps serving,
 //   - /metrics exposes jobs_panicked_total, sim_degraded_total, and the
 //     disk breaker gauges with nonzero panic/degrade counts,
+//   - a defect yield sweep completes despite injected sweep-worker panics,
+//     and a large async sweep cancelled mid-run lands as error_kind
+//     "canceled" with the worker pool fully drained (jobs_running 0),
 //   - SIGTERM still drains and exits cleanly.
 //
 // A second phase boots a three-replica fleet and SIGKILLs one replica in
@@ -43,7 +46,7 @@ import (
 )
 
 // faultSpec arms every fault class the PR's failure model covers at 20%.
-const faultSpec = "service.job.panic=p:0.2;cache.disk.read=p:0.2;cache.disk.write=p:0.2;sim.solve.exact=p:0.2"
+const faultSpec = "service.job.panic=p:0.2;cache.disk.read=p:0.2;cache.disk.write=p:0.2;sim.solve.exact=p:0.2;defectsweep.item.panic=p:0.2"
 
 const storm = 200
 
@@ -283,6 +286,126 @@ func main() {
 	if !strings.Contains(metrics, `sim_degraded_total{`) {
 		fatal(fmt.Errorf("no labeled sim_degraded_total series"))
 	}
+
+	step("defect sweep: survives injected worker panics, then cancels cleanly mid-run")
+	// Small synchronous sweeps until one completes cleanly. The
+	// defectsweep.item.panic fault (20% per pool worker) can kill an
+	// attempt with error_kind "panic" — the daemon must isolate each one
+	// and keep serving.
+	var sweepPanics int
+	sweepOK := false
+	for attempt := 0; attempt < 40 && !sweepOK; attempt++ {
+		alive("during defect sweeps")
+		code, _, body := post("/v1/defects/sweep", map[string]any{
+			"densities": []float64{0.3}, "seeds": 1, "workers": 2, "solver": "quickexact",
+		})
+		switch code {
+		case http.StatusOK:
+			var res struct {
+				Gates  int              `json:"gates"`
+				Points []map[string]any `json:"points"`
+			}
+			if err := json.Unmarshal(body, &res); err != nil || res.Gates == 0 || len(res.Points) != 1 {
+				fatal(fmt.Errorf("degenerate sweep result: %s", body))
+			}
+			sweepOK = true
+		case http.StatusInternalServerError, http.StatusUnprocessableEntity, http.StatusGatewayTimeout:
+			var e struct {
+				Kind string `json:"error_kind"`
+			}
+			if err := json.Unmarshal(body, &e); err != nil || e.Kind == "" {
+				fatal(fmt.Errorf("sweep error without error_kind: %d %s", code, body))
+			}
+			if e.Kind == "panic" {
+				sweepPanics++
+			}
+		case http.StatusTooManyRequests:
+			time.Sleep(100 * time.Millisecond)
+		default:
+			fatal(fmt.Errorf("sweep: unexpected status %d: %s", code, body))
+		}
+	}
+	if !sweepOK {
+		fatal(fmt.Errorf("no defect sweep completed cleanly in 40 attempts (%d panicked)", sweepPanics))
+	}
+	fmt.Printf("chaos-smoke: defect sweep completed under faults (%d attempts panicked first)\n", sweepPanics)
+
+	// A large async sweep cancelled mid-run must land as error_kind
+	// "canceled". An injected panic can beat the cancel to the job; retry
+	// until the cancel wins.
+	sweepCanceled := false
+	for attempt := 0; attempt < 40 && !sweepCanceled; attempt++ {
+		alive("during sweep cancellation")
+		code, _, body := post("/v1/defects/sweep", map[string]any{
+			"densities": []float64{0.5, 1, 2, 4}, "seeds": 8, "workers": 2,
+			"solver": "quickexact", "async": true,
+		})
+		if code == http.StatusTooManyRequests {
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		if code != http.StatusAccepted {
+			fatal(fmt.Errorf("async sweep: status %d: %s", code, body))
+		}
+		var snap struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(body, &snap); err != nil || snap.ID == "" {
+			fatal(fmt.Errorf("async sweep: no job id in %s", body))
+		}
+		time.Sleep(150 * time.Millisecond)
+		req, _ := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+snap.ID, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			// GET /v1/jobs/{id} nests the status under "job".
+			var st struct {
+				Job struct {
+					State string `json:"state"`
+					Kind  string `json:"error_kind"`
+				} `json:"job"`
+			}
+			mustGet("/v1/jobs/"+snap.ID, &st)
+			if st.Job.State == "canceled" {
+				if st.Job.Kind != "canceled" {
+					fatal(fmt.Errorf("cancelled sweep: error_kind %q, want \"canceled\"", st.Job.Kind))
+				}
+				sweepCanceled = true
+				break
+			}
+			if st.Job.State == "failed" || st.Job.State == "done" {
+				break // a panic or completion beat the cancel; try again
+			}
+			if time.Now().After(deadline) {
+				fatal(fmt.Errorf("sweep %s not terminal after cancel", snap.ID))
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	if !sweepCanceled {
+		fatal(fmt.Errorf("no async sweep observed error_kind \"canceled\" in 40 attempts"))
+	}
+	// No leaked workers: jobs_running must drain to zero.
+	drainDeadline := time.Now().Add(10 * time.Second)
+	for {
+		var hz struct {
+			JobsRunning int `json:"jobs_running"`
+		}
+		mustGet("/healthz", &hz)
+		if hz.JobsRunning == 0 {
+			break
+		}
+		if time.Now().After(drainDeadline) {
+			fatal(fmt.Errorf("jobs_running = %d after sweep cancellation; workers leaked", hz.JobsRunning))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	fmt.Println("chaos-smoke: mid-sweep cancellation drained cleanly (error_kind canceled, jobs_running 0)")
 
 	step("SIGTERM: graceful drain and clean exit under faults")
 	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {

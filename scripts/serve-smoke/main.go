@@ -102,6 +102,44 @@ func main() {
 		}
 	}
 
+	step("defect-bearing flow: distinct cache entry from the pristine twin")
+	defectFlowReq := map[string]any{
+		"bench": "xor2", "engine": "ortho", "sqd": true,
+		"defects": map[string]any{
+			"list": []map[string]any{{"x": 90, "y": 23, "type": "siloxane"}},
+		},
+	}
+	defectCold, hit := mustPost("/v1/flow", defectFlowReq)
+	if hit {
+		fatal(fmt.Errorf("defect-bearing flow warm-hit the pristine cache entry"))
+	}
+	defectWarm, hit := mustPost("/v1/flow", defectFlowReq)
+	if !hit {
+		fatal(fmt.Errorf("repeated defect-bearing flow was not a cache hit"))
+	}
+	if !bytes.Equal(defectWarm, defectCold) {
+		fatal(fmt.Errorf("warm defect-bearing flow differs from cold"))
+	}
+
+	step("defect-blocked validation taxonomy")
+	var blocked struct {
+		OK            bool   `json:"ok"`
+		FailKind      string `json:"fail_kind"`
+		DefectBlocked bool   `json:"defect_blocked"`
+	}
+	blockedBody, _ := mustPost("/v1/gates/validate", map[string]any{
+		"gate": "wire:iNW:oSE",
+		"defects": map[string]any{
+			"list": []map[string]any{{"x": 15, "y": 0, "type": "db"}},
+		},
+	})
+	if err := json.Unmarshal(blockedBody, &blocked); err != nil {
+		fatal(err)
+	}
+	if blocked.OK || blocked.FailKind != "defect_blocked" || !blocked.DefectBlocked {
+		fatal(fmt.Errorf("defect on a wire dot not classified defect_blocked: %s", blockedBody))
+	}
+
 	step("async job lifecycle")
 	job := submitAsync(map[string]any{"bench": "mux21", "engine": "ortho", "async": true})
 	waitJob(job, 30*time.Second)
