@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race bench bench-sim bench-cache bench-service bench-fleet bench-pnr bench-engines bench-defects table1 serve serve-smoke chaos-smoke clean
+.PHONY: all build test check race bench bench-sim bench-cache bench-service bench-fleet bench-diff bench-pnr bench-engines bench-defects table1 serve serve-smoke chaos-smoke clean
 
 all: build
 
@@ -57,6 +57,14 @@ bench-service:
 # Writes BENCH_fleet.json and exits nonzero on either regression.
 bench-fleet:
 	$(GO) run ./cmd/benchserve -replicas 3 -o BENCH_fleet.json
+
+# bench-diff compares the working-tree BENCH_service.json/BENCH_fleet.json
+# against the baselines committed at HEAD and writes the per-metric delta
+# table to BENCH_diff.md. Informational by default (benchmarks on shared
+# runners are noisy); add BENCHDIFF_FLAGS="-gate" to fail on regressions
+# beyond the tolerance band, or "-tolerance 0.5" to widen it.
+bench-diff:
+	$(GO) run ./scripts/benchdiff $(BENCHDIFF_FLAGS)
 
 # bench-pnr records the exact P&R engine's per-aspect-ratio SAT solve
 # times (grid dims, SAT/UNSAT, conflicts/propagations/restarts) across the

@@ -49,6 +49,19 @@ type fleetReport struct {
 	FleetHitRate         float64 `json:"fleet_hit_rate"`
 	SingleReplicaHitRate float64 `json:"single_replica_hit_rate"`
 	PerReplicaColdSolves []int   `json:"per_replica_cold_solves"`
+	// PerReplica breaks the fleet totals down by member, so a skewed ring
+	// (one replica owning most keys) or a replica serving cold from a sick
+	// cache shows up in the report instead of hiding in the sums.
+	PerReplica []replicaBench `json:"per_replica"`
+}
+
+// replicaBench is one replica's slice of the fleet benchmark.
+type replicaBench struct {
+	Addr              string  `json:"addr"`
+	ColdSolves        int     `json:"cold_solves"`
+	MemHitRate        float64 `json:"mem_hit_rate"`
+	Forwarded         int     `json:"forwarded"`
+	PeerCacheRequests int     `json:"peer_cache_requests"`
 }
 
 // benchOp is one request of the benchmark workload; the full workload is
@@ -136,17 +149,27 @@ func runFleet(n, clients, rounds, workers int, out string) {
 	// cumulative, so any warm-phase re-solve (a dedup failure) counts
 	// against the duplicate ratio too.
 	var coldSolves, merged, forwarded, peerReqs float64
-	for _, t := range targets {
+	for i, t := range targets {
 		m, err := rawGetFrom(t, "/metrics")
 		if err != nil {
 			fatal(fmt.Errorf("scrape %s/metrics: %w", t, err))
 		}
 		cs := scrapeSum(m, "jobs_cold_solves_total")
+		hr, _ := scrapeValue(m, "cache_mem_hit_rate")
+		fw := scrapeSum(m, "cluster_forwarded_total")
+		pr := scrapeSum(m, "cluster_peer_requests_total")
 		rep.PerReplicaColdSolves = append(rep.PerReplicaColdSolves, int(cs))
+		rep.PerReplica = append(rep.PerReplica, replicaBench{
+			Addr:              addrs[i],
+			ColdSolves:        int(cs),
+			MemHitRate:        hr,
+			Forwarded:         int(fw),
+			PeerCacheRequests: int(pr),
+		})
 		coldSolves += cs
 		merged += scrapeSum(m, "cluster_singleflight_merged_total")
-		forwarded += scrapeSum(m, "cluster_forwarded_total")
-		peerReqs += scrapeSum(m, "cluster_peer_requests_total")
+		forwarded += fw
+		peerReqs += pr
 	}
 	rep.ColdSolves = int(coldSolves)
 	if rep.UniqueKeys > 0 {
@@ -175,6 +198,10 @@ func runFleet(n, clients, rounds, workers int, out string) {
 	fmt.Printf("benchserve: fleet warm %d reqs: %.0f req/s, p50 %.2fms p99 %.2fms, hit rate %.0f%% (standalone %.0f%%)\n",
 		rep.Warm.Requests, rep.ThroughputRPS, rep.Warm.P50MS, rep.Warm.P99MS,
 		100*rep.FleetHitRate, 100*rep.SingleReplicaHitRate)
+	for _, rb := range rep.PerReplica {
+		fmt.Printf("benchserve:   replica %s: %d cold solves, mem hit rate %.0f%%, forwarded %d, peer ops %d\n",
+			rb.Addr, rb.ColdSolves, 100*rb.MemHitRate, rb.Forwarded, rb.PeerCacheRequests)
+	}
 	fmt.Printf("benchserve: wrote %s\n", out)
 
 	var failures []string

@@ -25,16 +25,21 @@
 //	GET    /v1/jobs/{id}       job status (and result once done)
 //	GET    /v1/jobs/{id}/trace per-job stage timeline (spans + attributes)
 //	DELETE /v1/jobs/{id}       cancel a job
-//	GET    /v1/traces/{id}     retained flight-recorder trace by job id
+//	GET    /v1/traces/{id}     retained trace by job or request id (stitched across the fleet)
+//	GET    /v1/cluster/overview  fleet-wide saturation/cache/SLO overview from any member
 //	GET    /debug/flightrecorder  flight-recorder summary (retained trace headers)
 //	GET    /healthz            liveness + saturation/latency/SLO snapshot (and cluster state)
 //	GET    /metrics            Prometheus text exposition
 //	GET/PUT /internal/cache/{key}  peer-cache protocol (fleet mode; secret or loopback only)
+//	GET    /internal/trace/{id}    peer trace lookup for stitching (fleet mode)
+//	GET    /internal/stats         peer stats snapshot for the overview plane (fleet mode)
 //
 // Fleet mode (-peers) turns a set of replicas into a cluster: consistent
 // hashing over the canonical cache keys routes each request to its owner
 // replica, local misses consult the owner's cache before solving, and
-// concurrent identical requests fleet-wide coalesce onto one solve:
+// concurrent identical requests fleet-wide coalesce onto one solve.
+// Request ids and span parents propagate on every intra-fleet hop, so
+// traces stitch across replicas and logs correlate by X-Request-Id:
 //
 //	bestagond -addr :8711 -peers 127.0.0.1:8712,127.0.0.1:8713 -cluster-secret s3cret
 //

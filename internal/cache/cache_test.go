@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -175,14 +176,14 @@ func TestCachedValidate(t *testing.T) {
 	}
 	lru := NewLRU(1 << 20)
 	truth := gatelib.TruthOf(f)
-	v1, hit1, err := CachedValidate(lru, nil, d, truth, sim.ParamsFig5, gatelib.ValidateOptions{})
+	v1, hit1, err := CachedValidate(context.Background(), lru, nil, d, truth, sim.ParamsFig5, gatelib.ValidateOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if hit1 {
 		t.Fatal("first validation reported a cache hit")
 	}
-	v2, hit2, err := CachedValidate(lru, nil, d, truth, sim.ParamsFig5, gatelib.ValidateOptions{})
+	v2, hit2, err := CachedValidate(context.Background(), lru, nil, d, truth, sim.ParamsFig5, gatelib.ValidateOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

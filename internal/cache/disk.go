@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -41,7 +42,7 @@ func (d *Disk) path(key Key) string {
 // Get reads the entry for key. A clean miss is (nil, false, nil); an I/O
 // failure is reported as an error so the resilient layer above can retry
 // it and trip its breaker (a missing entry is not a failure).
-func (d *Disk) Get(key Key) ([]byte, bool, error) {
+func (d *Disk) Get(_ context.Context, key Key) ([]byte, bool, error) {
 	if err := faults.Fail("cache.disk.read"); err != nil {
 		return nil, false, err
 	}
@@ -57,7 +58,7 @@ func (d *Disk) Get(key Key) ([]byte, bool, error) {
 
 // Put writes the entry atomically (temp file + rename). Errors are
 // returned for the caller to log; a failed Put never corrupts the store.
-func (d *Disk) Put(key Key, val []byte) error {
+func (d *Disk) Put(_ context.Context, key Key, val []byte) error {
 	if err := faults.Fail("cache.disk.write"); err != nil {
 		return err
 	}

@@ -80,7 +80,7 @@ func (fc *FlowCache) Run(ctx context.Context, spec *network.XAG, opts core.Optio
 		if fc.Disk != nil {
 			// Disk errors are non-fatal: the resilient layer has already
 			// retried, so a failure here falls through to a cold run.
-			if b, ok, err := fc.Disk.Get(key); err == nil && ok {
+			if b, ok, err := fc.Disk.Get(ctx, key); err == nil && ok {
 				if art, err := decodeArtifact(b); err == nil {
 					fc.Mem.Put(key, b)
 					return art, SourceDisk, nil
@@ -89,11 +89,11 @@ func (fc *FlowCache) Run(ctx context.Context, spec *network.XAG, opts core.Optio
 		}
 		if fc.Peer != nil {
 			// Peer errors fall through to a cold run, same as disk errors.
-			if b, ok, err := fc.Peer.Get(key); err == nil && ok {
+			if b, ok, err := fc.Peer.Get(ctx, key); err == nil && ok {
 				if art, err := decodeArtifact(b); err == nil {
 					fc.Mem.Put(key, b)
 					if fc.Disk != nil {
-						_ = fc.Disk.Put(key, b)
+						_ = fc.Disk.Put(ctx, key, b)
 					}
 					return art, SourcePeer, nil
 				}
@@ -121,12 +121,12 @@ func (fc *FlowCache) Run(ctx context.Context, spec *network.XAG, opts core.Optio
 	fc.Mem.Put(key, b)
 	if fc.Disk != nil {
 		// Persistent layer failures degrade to memory-only caching.
-		_ = fc.Disk.Put(key, b)
+		_ = fc.Disk.Put(ctx, key, b)
 	}
 	if fc.Peer != nil {
 		// Push the cold result to the key's owner so the whole fleet warms
 		// from one solve. Degraded artifacts never reach this point.
-		_ = fc.Peer.Put(key, b)
+		_ = fc.Peer.Put(ctx, key, b)
 	}
 	return art, SourceMiss, nil
 }

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"time"
@@ -12,10 +13,12 @@ import (
 // Layer is the interface every cache tier behind the in-memory LRU
 // implements: the raw Disk store, a remote peer layer, or a Resilient
 // wrapper adding retries and a circuit breaker to either. Get reports a
-// clean miss as (nil, false, nil).
+// clean miss as (nil, false, nil). The context carries the request id
+// (obs.RequestIDFromContext) so remote tiers can propagate it across the
+// wire; local tiers may ignore it.
 type Layer interface {
-	Get(key Key) ([]byte, bool, error)
-	Put(key Key, val []byte) error
+	Get(ctx context.Context, key Key) ([]byte, bool, error)
+	Put(ctx context.Context, key Key, val []byte) error
 }
 
 // DiskLayer is the historical name for Layer, kept for the persistent
@@ -241,7 +244,7 @@ func (r *Resilient) backoff(n int) time.Duration {
 
 // Get reads through the breaker with retries. While the breaker is open
 // it reports a miss so the flow cache silently degrades to memory-only.
-func (r *Resilient) Get(key Key) ([]byte, bool, error) {
+func (r *Resilient) Get(ctx context.Context, key Key) ([]byte, bool, error) {
 	if !r.allow() {
 		r.shortCircts.Inc()
 		return nil, false, nil
@@ -250,7 +253,7 @@ func (r *Resilient) Get(key Key) ([]byte, bool, error) {
 	var ok bool
 	err := r.withRetry(func() error {
 		var e error
-		b, ok, e = r.inner.Get(key)
+		b, ok, e = r.inner.Get(ctx, key)
 		return e
 	})
 	if err != nil {
@@ -261,12 +264,12 @@ func (r *Resilient) Get(key Key) ([]byte, bool, error) {
 
 // Put writes through the breaker with retries. While the breaker is open
 // the write is dropped (the memory layer still holds the entry).
-func (r *Resilient) Put(key Key, val []byte) error {
+func (r *Resilient) Put(ctx context.Context, key Key, val []byte) error {
 	if !r.allow() {
 		r.shortCircts.Inc()
 		return nil
 	}
-	return r.withRetry(func() error { return r.inner.Put(key, val) })
+	return r.withRetry(func() error { return r.inner.Put(ctx, key, val) })
 }
 
 // withRetry runs op with the retry policy, then reports the final outcome

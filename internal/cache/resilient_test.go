@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -19,7 +20,7 @@ var errFakeIO = errors.New("fake I/O failure")
 
 func newFakeDisk() *fakeDisk { return &fakeDisk{data: map[Key][]byte{}} }
 
-func (f *fakeDisk) Get(key Key) ([]byte, bool, error) {
+func (f *fakeDisk) Get(_ context.Context, key Key) ([]byte, bool, error) {
 	f.gets++
 	if f.failing {
 		return nil, false, errFakeIO
@@ -28,7 +29,7 @@ func (f *fakeDisk) Get(key Key) ([]byte, bool, error) {
 	return b, ok, nil
 }
 
-func (f *fakeDisk) Put(key Key, val []byte) error {
+func (f *fakeDisk) Put(_ context.Context, key Key, val []byte) error {
 	f.puts++
 	if f.failing {
 		return errFakeIO
@@ -52,13 +53,13 @@ func TestResilientRetriesTransientFailure(t *testing.T) {
 	attempts := 0
 	flaky := &flakyDisk{inner: f, failFirst: 2, attempts: &attempts}
 	r, _ := newTestResilient(flaky, ResilientOptions{MaxRetries: 3})
-	if err := r.Put(Key("k"), []byte("v")); err != nil {
+	if err := r.Put(context.Background(), Key("k"), []byte("v")); err != nil {
 		t.Fatalf("Put should have succeeded after retries: %v", err)
 	}
 	if attempts != 3 {
 		t.Fatalf("attempts = %d, want 3 (two failures + success)", attempts)
 	}
-	if b, ok, err := r.Get(Key("k")); err != nil || !ok || string(b) != "v" {
+	if b, ok, err := r.Get(context.Background(), Key("k")); err != nil || !ok || string(b) != "v" {
 		t.Fatalf("Get = %q, %v, %v", b, ok, err)
 	}
 	if r.State() != BreakerClosed {
@@ -73,20 +74,20 @@ type flakyDisk struct {
 	attempts  *int
 }
 
-func (f *flakyDisk) Get(key Key) ([]byte, bool, error) {
+func (f *flakyDisk) Get(ctx context.Context, key Key) ([]byte, bool, error) {
 	*f.attempts++
 	if *f.attempts <= f.failFirst {
 		return nil, false, errFakeIO
 	}
-	return f.inner.Get(key)
+	return f.inner.Get(ctx, key)
 }
 
-func (f *flakyDisk) Put(key Key, val []byte) error {
+func (f *flakyDisk) Put(ctx context.Context, key Key, val []byte) error {
 	*f.attempts++
 	if *f.attempts <= f.failFirst {
 		return errFakeIO
 	}
-	return f.inner.Put(key, val)
+	return f.inner.Put(ctx, key, val)
 }
 
 func TestBreakerTripHalfOpenClose(t *testing.T) {
@@ -100,7 +101,7 @@ func TestBreakerTripHalfOpenClose(t *testing.T) {
 
 	// Three consecutive failures trip the breaker open.
 	for i := 0; i < 3; i++ {
-		if err := r.Put(Key("k"), []byte("v")); err == nil {
+		if err := r.Put(context.Background(), Key("k"), []byte("v")); err == nil {
 			t.Fatal("Put should fail while the disk is failing")
 		}
 	}
@@ -111,10 +112,10 @@ func TestBreakerTripHalfOpenClose(t *testing.T) {
 	// Open: operations short-circuit without touching the disk. A Get is a
 	// silent miss, a Put a silent drop.
 	before := f.puts + f.gets
-	if _, ok, err := r.Get(Key("k")); ok || err != nil {
+	if _, ok, err := r.Get(context.Background(), Key("k")); ok || err != nil {
 		t.Fatalf("open-breaker Get = %v, %v; want silent miss", ok, err)
 	}
-	if err := r.Put(Key("k"), []byte("v")); err != nil {
+	if err := r.Put(context.Background(), Key("k"), []byte("v")); err != nil {
 		t.Fatalf("open-breaker Put = %v; want silent drop", err)
 	}
 	if f.puts+f.gets != before {
@@ -124,7 +125,7 @@ func TestBreakerTripHalfOpenClose(t *testing.T) {
 	// Cooldown elapses; the next operation is a half-open probe. The disk
 	// is still failing, so the probe re-opens the breaker.
 	*now = now.Add(11 * time.Second)
-	if err := r.Put(Key("k"), []byte("v")); err == nil {
+	if err := r.Put(context.Background(), Key("k"), []byte("v")); err == nil {
 		t.Fatal("probe should have failed")
 	}
 	if r.State() != BreakerOpen {
@@ -134,13 +135,13 @@ func TestBreakerTripHalfOpenClose(t *testing.T) {
 	// Second cooldown; disk recovered; the probe closes the breaker.
 	f.failing = false
 	*now = now.Add(11 * time.Second)
-	if err := r.Put(Key("k"), []byte("v")); err != nil {
+	if err := r.Put(context.Background(), Key("k"), []byte("v")); err != nil {
 		t.Fatalf("recovered probe failed: %v", err)
 	}
 	if r.State() != BreakerClosed {
 		t.Fatalf("breaker = %v after successful probe, want closed", r.State())
 	}
-	if b, ok, err := r.Get(Key("k")); err != nil || !ok || string(b) != "v" {
+	if b, ok, err := r.Get(context.Background(), Key("k")); err != nil || !ok || string(b) != "v" {
 		t.Fatalf("Get after recovery = %q, %v, %v", b, ok, err)
 	}
 }
@@ -153,7 +154,7 @@ func TestBreakerHalfOpenAllowsSingleProbe(t *testing.T) {
 		FailThreshold: 1,
 		Cooldown:      time.Second,
 	})
-	_ = r.Put(Key("k"), []byte("v"))
+	_ = r.Put(context.Background(), Key("k"), []byte("v"))
 	if r.State() != BreakerOpen {
 		t.Fatalf("breaker = %v, want open", r.State())
 	}

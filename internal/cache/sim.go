@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -58,9 +59,13 @@ func (c *CachedSolver) SolveTrack(e *sim.Engine, opts sim.SolveOptions) (sim.Sol
 		// A decode failure means a corrupted or incompatible entry; fall
 		// through and recompute (the Put below overwrites it).
 	}
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if c.Peer != nil {
 		// Peer errors fall through to a local solve, same as a miss.
-		if b, ok, err := c.Peer.Get(key); err == nil && ok {
+		if b, ok, err := c.Peer.Get(ctx, key); err == nil && ok {
 			if sol, err := decodeSolution(b, order); err == nil {
 				c.Cache.Put(key, b)
 				return sol, true, nil
@@ -81,7 +86,7 @@ func (c *CachedSolver) SolveTrack(e *sim.Engine, opts sim.SolveOptions) (sim.Sol
 		enc := encodeSolution(sol, order)
 		c.Cache.Put(key, enc)
 		if c.Peer != nil {
-			_ = c.Peer.Put(key, enc)
+			_ = c.Peer.Put(ctx, key, enc)
 		}
 	}
 	return sol, false, nil

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"context"
 	"encoding/json"
 
 	"repro/internal/gatelib"
@@ -12,8 +13,12 @@ import (
 // whether the result came from a cache. Only successful validations are
 // stored (a failed solver lookup is returned uncached), and the cached
 // value is the full Validation including the per-pattern outputs and the
-// minimum energy gap.
-func CachedValidate(lru *LRU, peer Layer, d *gatelib.Design, truth func(uint32) uint32, params sim.Params, opts gatelib.ValidateOptions) (gatelib.Validation, bool, error) {
+// minimum energy gap. The context carries the request id for peer-layer
+// propagation; nil is treated as context.Background().
+func CachedValidate(ctx context.Context, lru *LRU, peer Layer, d *gatelib.Design, truth func(uint32) uint32, params sim.Params, opts gatelib.ValidateOptions) (gatelib.Validation, bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	key := ValidationKey(d, truth, params, opts.Solver, opts.Surface)
 	if b, ok := lru.Get(key); ok {
 		var v gatelib.Validation
@@ -23,7 +28,7 @@ func CachedValidate(lru *LRU, peer Layer, d *gatelib.Design, truth func(uint32) 
 	}
 	if peer != nil {
 		// Peer errors fall through to a local validation, same as a miss.
-		if b, ok, err := peer.Get(key); err == nil && ok {
+		if b, ok, err := peer.Get(ctx, key); err == nil && ok {
 			var v gatelib.Validation
 			if err := json.Unmarshal(b, &v); err == nil {
 				lru.Put(key, b)
@@ -38,7 +43,7 @@ func CachedValidate(lru *LRU, peer Layer, d *gatelib.Design, truth func(uint32) 
 	if b, err := json.Marshal(v); err == nil {
 		lru.Put(key, b)
 		if peer != nil {
-			_ = peer.Put(key, b)
+			_ = peer.Put(ctx, key, b)
 		}
 	}
 	return v, false, nil

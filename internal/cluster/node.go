@@ -2,7 +2,9 @@ package cluster
 
 import (
 	"context"
+	"crypto/rand"
 	"crypto/subtle"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"net/http"
@@ -18,11 +20,29 @@ import (
 // Protocol headers. SecretHeader authenticates peer-cache and internal
 // traffic; ForwardedHeader marks a request already forwarded once so the
 // receiver never re-forwards (no routing loops even when ring views
-// disagree during a membership change).
+// disagree during a membership change). RequestIDHeader carries the
+// originating request id on every intra-fleet hop — forwards, peer-cache
+// operations, probes — so one id names the whole distributed execution;
+// ParentSpanHeader names the span on the forwarding replica that the
+// remote execution nests under, and HopHeader counts fleet hops.
 const (
-	SecretHeader    = "X-Cluster-Secret"
-	ForwardedHeader = "X-Cluster-Forwarded"
+	SecretHeader     = "X-Cluster-Secret"
+	ForwardedHeader  = "X-Cluster-Forwarded"
+	RequestIDHeader  = "X-Request-Id"
+	ParentSpanHeader = "X-Parent-Span"
+	HopHeader        = "X-Cluster-Hop"
 )
+
+// NewHopID mints a short random id for intra-fleet operations that have
+// no originating HTTP request — liveness probes, background pushes — so
+// their log lines are still correlatable end to end.
+func NewHopID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "hop-unknown"
+	}
+	return hex.EncodeToString(b[:])
+}
 
 // Config describes this replica's place in the fleet.
 //
@@ -238,7 +258,8 @@ func (n *Node) probeLoop() {
 func (n *Node) probeAll() {
 	changed := false
 	for _, p := range n.peers {
-		ok := n.probe(p.addr)
+		probeID := "probe-" + NewHopID()
+		ok := n.probe(p.addr, probeID)
 		n.mu.Lock()
 		p.lastProbe = time.Now()
 		if ok {
@@ -246,16 +267,23 @@ func (n *Node) probeAll() {
 			if !p.alive {
 				p.alive = true
 				changed = true
-				n.log.Info("cluster_peer_up", obslog.F("peer", p.addr))
+				n.log.Info("cluster_peer_up",
+					obslog.F("peer", p.addr),
+					obslog.F("probe_id", probeID))
 			}
 		} else {
 			p.consecFails++
 			n.probeErr.Inc()
+			n.log.Debug("cluster_probe_failed",
+				obslog.F("peer", p.addr),
+				obslog.F("probe_id", probeID),
+				obslog.F("consecutive_failures", p.consecFails))
 			if p.alive && p.consecFails >= n.cfg.FailThreshold {
 				p.alive = false
 				changed = true
 				n.log.Warn("cluster_peer_down",
 					obslog.F("peer", p.addr),
+					obslog.F("probe_id", probeID),
 					obslog.F("consecutive_failures", p.consecFails))
 			}
 		}
@@ -271,14 +299,16 @@ func (n *Node) probeAll() {
 
 // probe reports whether the peer answers /healthz with 200. A draining
 // replica answers 503 and is treated as down — no new work should be
-// routed to it.
-func (n *Node) probe(addr string) bool {
+// routed to it. The probe id rides the request-id header so both ends
+// log the same id for one probe round trip.
+func (n *Node) probe(addr, probeID string) bool {
 	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.ProbeTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/healthz", nil)
 	if err != nil {
 		return false
 	}
+	req.Header.Set(RequestIDHeader, probeID)
 	resp, err := n.client.Do(req)
 	if err != nil {
 		return false
@@ -383,10 +413,10 @@ func (n *Node) CacheGet(ctx context.Context, addr string, key cache.Key) ([]byte
 	if err != nil {
 		return nil, false, err
 	}
-	n.setSecret(req)
+	rid := n.setIdentity(ctx, req)
 	resp, err := n.client.Do(req)
 	if err != nil {
-		n.countPeerOp("get", "error")
+		n.peerOpFailed("get", addr, rid, err)
 		return nil, false, fmt.Errorf("cluster: peer get %s: %w", addr, err)
 	}
 	defer resp.Body.Close()
@@ -394,11 +424,11 @@ func (n *Node) CacheGet(ctx context.Context, addr string, key cache.Key) ([]byte
 	case http.StatusOK:
 		b, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerEntryBytes+1))
 		if err != nil {
-			n.countPeerOp("get", "error")
+			n.peerOpFailed("get", addr, rid, err)
 			return nil, false, fmt.Errorf("cluster: peer get %s: %w", addr, err)
 		}
 		if len(b) > maxPeerEntryBytes {
-			n.countPeerOp("get", "error")
+			n.peerOpFailed("get", addr, rid, fmt.Errorf("entry exceeds %d bytes", maxPeerEntryBytes))
 			return nil, false, fmt.Errorf("cluster: peer get %s: entry exceeds %d bytes", addr, maxPeerEntryBytes)
 		}
 		n.countPeerOp("get", "hit")
@@ -407,7 +437,7 @@ func (n *Node) CacheGet(ctx context.Context, addr string, key cache.Key) ([]byte
 		n.countPeerOp("get", "miss")
 		return nil, false, nil
 	default:
-		n.countPeerOp("get", "error")
+		n.peerOpFailed("get", addr, rid, fmt.Errorf("status %d", resp.StatusCode))
 		return nil, false, fmt.Errorf("cluster: peer get %s: status %d", addr, resp.StatusCode)
 	}
 }
@@ -425,24 +455,44 @@ func (n *Node) CachePut(ctx context.Context, addr string, key cache.Key, val []b
 		return err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
-	n.setSecret(req)
+	rid := n.setIdentity(ctx, req)
 	resp, err := n.client.Do(req)
 	if err != nil {
-		n.countPeerOp("put", "error")
+		n.peerOpFailed("put", addr, rid, err)
 		return fmt.Errorf("cluster: peer put %s: %w", addr, err)
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
-		n.countPeerOp("put", "error")
+		n.peerOpFailed("put", addr, rid, fmt.Errorf("status %d", resp.StatusCode))
 		return fmt.Errorf("cluster: peer put %s: status %d", addr, resp.StatusCode)
 	}
 	n.countPeerOp("put", "ok")
 	return nil
 }
 
-func (n *Node) setSecret(req *http.Request) {
+// setIdentity stamps an outgoing internal request with the cluster secret
+// and the originating request id (minted fresh when the context carries
+// none, so every peer operation is correlatable). Returns the id used.
+func (n *Node) setIdentity(ctx context.Context, req *http.Request) string {
 	if n.cfg.Secret != "" {
 		req.Header.Set(SecretHeader, n.cfg.Secret)
 	}
+	rid := obs.RequestIDFromContext(ctx)
+	if rid == "" {
+		rid = "peer-" + NewHopID()
+	}
+	req.Header.Set(RequestIDHeader, rid)
+	return rid
+}
+
+// peerOpFailed counts and logs one failed peer-cache operation with the
+// request id that triggered it, so cluster_peer_requests_total errors are
+// correlatable with request logs on both replicas.
+func (n *Node) peerOpFailed(op, addr, rid string, err error) {
+	n.countPeerOp(op, "error")
+	n.log.Warn("cluster_peer_"+op+"_failed",
+		obslog.F("peer", addr),
+		obslog.F("request_id", rid),
+		obslog.F("error", err.Error()))
 }

@@ -204,18 +204,18 @@ func TestPeerLayer(t *testing.T) {
 	}
 
 	// A peer-owned key roundtrips through the peer's store.
-	if err := layer.Put(peerKey, []byte("v")); err != nil {
+	if err := layer.Put(context.Background(), peerKey, []byte("v")); err != nil {
 		t.Fatal(err)
 	}
-	if b, ok, err := layer.Get(peerKey); err != nil || !ok || string(b) != "v" {
+	if b, ok, err := layer.Get(context.Background(), peerKey); err != nil || !ok || string(b) != "v" {
 		t.Fatalf("peer-owned get: %q ok=%v err=%v", b, ok, err)
 	}
 
 	// A self-owned key is a local no-op: the regular cache tiers hold it.
-	if err := layer.Put(selfKey, []byte("v")); err != nil {
+	if err := layer.Put(context.Background(), selfKey, []byte("v")); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, err := layer.Get(selfKey); err != nil || ok {
+	if _, ok, err := layer.Get(context.Background(), selfKey); err != nil || ok {
 		t.Fatalf("self-owned get must miss cleanly: ok=%v err=%v", ok, err)
 	}
 
@@ -225,7 +225,7 @@ func TestPeerLayer(t *testing.T) {
 	n.peers[0].alive = false
 	n.rebuildLocked()
 	n.mu.Unlock()
-	if _, ok, err := layer.Get(peerKey); err != nil || ok {
+	if _, ok, err := layer.Get(context.Background(), peerKey); err != nil || ok {
 		t.Fatalf("dead-fleet get: ok=%v err=%v; want clean miss", ok, err)
 	}
 }

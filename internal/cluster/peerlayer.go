@@ -26,8 +26,13 @@ var _ cache.Layer = (*PeerLayer)(nil)
 // NewPeerLayer wraps a node.
 func NewPeerLayer(n *Node) *PeerLayer { return &PeerLayer{Node: n} }
 
-// Get fetches key from its owner replica(s).
-func (p *PeerLayer) Get(key cache.Key) ([]byte, bool, error) {
+// Get fetches key from its owner replica(s). The caller's context carries
+// the request id across the wire; each owner attempt is still bounded by
+// the node's PeerTimeout on top of any caller deadline.
+func (p *PeerLayer) Get(ctx context.Context, key cache.Key) ([]byte, bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := p.Node
 	owners := n.Owners(string(key), 2)
 	var firstErr error
@@ -35,8 +40,8 @@ func (p *PeerLayer) Get(key cache.Key) ([]byte, bool, error) {
 		if o == n.Self() || !n.Alive(o) {
 			continue
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), n.cfg.PeerTimeout)
-		b, ok, err := n.CacheGet(ctx, o, key)
+		opCtx, cancel := context.WithTimeout(ctx, n.cfg.PeerTimeout)
+		b, ok, err := n.CacheGet(opCtx, o, key)
 		cancel()
 		if err != nil {
 			if firstErr == nil {
@@ -52,7 +57,10 @@ func (p *PeerLayer) Get(key cache.Key) ([]byte, bool, error) {
 }
 
 // Put pushes key's bytes to its owner replica (no-op when self-owned).
-func (p *PeerLayer) Put(key cache.Key, val []byte) error {
+func (p *PeerLayer) Put(ctx context.Context, key cache.Key, val []byte) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := p.Node
 	owners := n.Owners(string(key), 2)
 	for _, o := range owners {
@@ -62,8 +70,8 @@ func (p *PeerLayer) Put(key cache.Key, val []byte) error {
 		if !n.Alive(o) {
 			continue
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), n.cfg.PeerTimeout)
-		err := n.CachePut(ctx, o, key, val)
+		opCtx, cancel := context.WithTimeout(ctx, n.cfg.PeerTimeout)
+		err := n.CachePut(opCtx, o, key, val)
 		cancel()
 		return err
 	}

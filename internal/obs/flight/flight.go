@@ -123,6 +123,7 @@ type Recorder struct {
 	mu       sync.Mutex
 	rings    map[Class]*ring
 	byID     map[string]*Trace
+	byReq    map[string]*Trace // latest retained trace per request id
 	okWindow *obs.RollingWindow // recent OK latencies (slow threshold source)
 	okSeen   int64
 	fastSeen int64
@@ -142,6 +143,7 @@ func NewRecorder(opts Options) *Recorder {
 			ClassSampled: {buf: make([]*Trace, o.SampleCapacity)},
 		},
 		byID:     map[string]*Trace{},
+		byReq:    map[string]*Trace{},
 		okWindow: obs.NewRollingWindow(o.WindowSize),
 		admitted: map[Class]int64{},
 	}
@@ -168,14 +170,30 @@ func (r *Recorder) Record(t Trace) Class {
 	if old := r.byID[stored.ID]; old != nil {
 		// Re-recording an id (should not happen with queue-issued ids)
 		// replaces the payload in place; the ring keeps the old slot.
+		oldReq := old.RequestID
 		*old = stored
+		if oldReq != "" && oldReq != stored.RequestID && r.byReq[oldReq] == old {
+			delete(r.byReq, oldReq)
+		}
+		if stored.RequestID != "" {
+			r.byReq[stored.RequestID] = old
+		}
 		r.mu.Unlock()
 		return class
 	}
 	r.byID[stored.ID] = &stored
+	if stored.RequestID != "" {
+		// A forwarded request records twice on the entry replica (the local
+		// forward stub and, on fallback, the local job); latest wins, which
+		// is also the most complete view.
+		r.byReq[stored.RequestID] = &stored
+	}
 	evictedOne := false
 	if ev := r.rings[class].push(&stored); ev != nil {
 		delete(r.byID, ev.ID)
+		if ev.RequestID != "" && r.byReq[ev.RequestID] == ev {
+			delete(r.byReq, ev.RequestID)
+		}
 		r.evicted++
 		evictedOne = true
 	}
@@ -224,6 +242,22 @@ func (r *Recorder) Get(id string) (Trace, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	t, ok := r.byID[id]
+	if !ok {
+		return Trace{}, false
+	}
+	return *t, true
+}
+
+// GetByRequestID returns a copy of the most recently retained trace whose
+// originating request carried the given request id. This is the fleet's
+// stitching key: job ids are per-replica, request ids are not.
+func (r *Recorder) GetByRequestID(rid string) (Trace, bool) {
+	if r == nil || rid == "" {
+		return Trace{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.byReq[rid]
 	if !ok {
 		return Trace{}, false
 	}

@@ -169,13 +169,26 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rid := obs.RequestIDFromContext(r.Context())
+	hop := obs.HopFromContext(r.Context())
 	jtr := s.newJobTracer()
 
 	fn := func(ctx context.Context) (any, error) {
 		ctx = obs.ContextWithRequestID(ctx, rid)
+		// Re-attach the hop marker: the queue hands jobs a fresh context, so
+		// the fan-out's peer-cache operations would otherwise lose the
+		// forwarding replica's identity.
+		ctx = obs.ContextWithHop(ctx, hop)
 		sp := jtr.Start("batch")
 		sp.SetAttr("items", n)
 		sp.SetAttr("unique", len(leaders))
+		if hop.Forwarded {
+			sp.SetAttr("forwarded", true)
+			sp.SetAttr("peer", hop.Peer)
+			sp.SetAttr("hop", hop.Index)
+			if hop.ParentSpan != "" {
+				sp.SetAttr("parent_span", hop.ParentSpan)
+			}
+		}
 		defer sp.End()
 
 		type outcome struct {

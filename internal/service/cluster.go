@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/obs/obslog"
 )
 
@@ -65,11 +67,16 @@ func (s *Server) routeCluster(w http.ResponseWriter, r *http.Request, op *prepar
 	if err != nil {
 		return false
 	}
+	rid := obs.RequestIDFromContext(r.Context())
+	fwdSpan := "forward-" + cluster.NewHopID()
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(cluster.ForwardedHeader, s.node.Self())
-	if rid := obs.RequestIDFromContext(r.Context()); rid != "" {
-		req.Header.Set(requestIDHeader, rid)
+	req.Header.Set(cluster.ParentSpanHeader, fwdSpan)
+	req.Header.Set(cluster.HopHeader, "1")
+	if rid != "" {
+		req.Header.Set(cluster.RequestIDHeader, rid)
 	}
+	start := time.Now()
 	resp, err := s.node.Client().Do(req)
 	if err != nil {
 		outcome := "error"
@@ -77,6 +84,8 @@ func (s *Server) routeCluster(w http.ResponseWriter, r *http.Request, op *prepar
 			outcome = "timeout"
 		}
 		s.tr.Counter(obs.Labeled("cluster/forwarded_total", "outcome", outcome)).Inc()
+		// No entry-side flight record here: the local fallback job runs next
+		// and records under the same request id with the real outcome.
 		return false
 	}
 	defer resp.Body.Close()
@@ -87,9 +96,82 @@ func (s *Server) routeCluster(w http.ResponseWriter, r *http.Request, op *prepar
 	}
 	w.Header().Set(clusterPeerHeader, owner)
 	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
+	errKind := ""
+	if resp.StatusCode >= 400 {
+		// Buffer the (bounded) error body so the owner's error_kind can be
+		// recorded on this side too, then relay the bytes unchanged.
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		w.Write(b)
+		errKind = errorKindFromBody(b, resp.StatusCode)
+	} else {
+		io.Copy(w, resp.Body)
+	}
 	s.tr.Counter(obs.Labeled("cluster/forwarded_total", "outcome", "ok")).Inc()
+	s.recordForward(op, owner, rid, fwdSpan, errKind, resp, start)
 	return true
+}
+
+// errorKindFromBody extracts the error_kind from an owner's JSON error
+// payload, falling back to a status-derived kind so the entry replica
+// still classifies opaque failures.
+func errorKindFromBody(b []byte, status int) string {
+	var e struct {
+		ErrorKind string `json:"error_kind"`
+	}
+	if err := json.Unmarshal(b, &e); err == nil && e.ErrorKind != "" {
+		return e.ErrorKind
+	}
+	if status == http.StatusGatewayTimeout {
+		return ErrKindTimeout
+	}
+	return ErrKindError
+}
+
+// recordForward retains the entry replica's view of a forwarded request in
+// the local flight recorder: a one-stage synthetic trace ("fwd-"+rid, so
+// it can never collide with local j%08d job ids) whose stage attributes
+// name the owner, the hop index, and the parent span the owner's trace
+// nests under. A forwarded panic or timeout therefore lands in the ENTRY
+// replica's error ring too — the replica the client actually talked to —
+// and GET /v1/traces/{rid} here finds the stub and federates for the
+// owner's half.
+func (s *Server) recordForward(op *preparedOp, owner, rid, fwdSpan, errKind string, resp *http.Response, start time.Time) {
+	if s.flight == nil || rid == "" {
+		return
+	}
+	elapsed := time.Since(start).Seconds()
+	state := "done"
+	if errKind != "" {
+		state = "failed"
+	}
+	degraded := resp.Header.Get("X-Degraded") == "true"
+	s.flight.Record(flight.Trace{
+		ID:        "fwd-" + rid,
+		Kind:      op.kind,
+		State:     state,
+		ErrorKind: errKind,
+		Degraded:  degraded,
+		RequestID: rid,
+		StartedAt: start,
+		Seconds:   elapsed,
+		Report: &obs.RunReport{
+			Name:        "fwd-" + rid,
+			StartedAt:   start,
+			WallSeconds: elapsed,
+			Stages: []*obs.StageReport{{
+				Name:    "forward",
+				Seconds: elapsed,
+				Attrs: map[string]any{
+					"peer":       owner,
+					"hop":        1,
+					"span_id":    fwdSpan,
+					"forwarded":  true,
+					"status":     resp.StatusCode,
+					"request_id": rid,
+				},
+			}},
+		},
+	})
 }
 
 // forwardSlack is the headroom a forwarded request gets beyond the job
@@ -208,10 +290,10 @@ type tracedLayer struct {
 	jtr   *obs.Tracer
 }
 
-func (t *tracedLayer) Get(key cache.Key) ([]byte, bool, error) {
+func (t *tracedLayer) Get(ctx context.Context, key cache.Key) ([]byte, bool, error) {
 	sp := t.jtr.Start("peer_fetch")
 	defer sp.End()
-	b, ok, err := t.inner.Get(key)
+	b, ok, err := t.inner.Get(ctx, key)
 	sp.SetAttr("hit", ok)
 	if err != nil {
 		sp.SetAttr("error", err.Error())
@@ -219,8 +301,8 @@ func (t *tracedLayer) Get(key cache.Key) ([]byte, bool, error) {
 	return b, ok, err
 }
 
-func (t *tracedLayer) Put(key cache.Key, val []byte) error {
-	return t.inner.Put(key, val)
+func (t *tracedLayer) Put(ctx context.Context, key cache.Key, val []byte) error {
+	return t.inner.Put(ctx, key, val)
 }
 
 // ---- /internal/cache/{key}: the peer-cache protocol endpoint ----
@@ -273,7 +355,7 @@ func (s *Server) handleInternalCacheGet(w http.ResponseWriter, r *http.Request) 
 	k := cache.Key(key)
 	b, ok := s.lru.Peek(k)
 	if !ok && s.flow.Disk != nil && strings.HasPrefix(key, "flow:") {
-		if db, dok, err := s.flow.Disk.Get(k); err == nil && dok {
+		if db, dok, err := s.flow.Disk.Get(r.Context(), k); err == nil && dok {
 			b, ok = db, true
 		}
 	}
@@ -320,7 +402,7 @@ func (s *Server) handleInternalCachePut(w http.ResponseWriter, r *http.Request) 
 	k := cache.Key(key)
 	s.lru.Put(k, b)
 	if s.flow.Disk != nil && strings.HasPrefix(key, "flow:") {
-		_ = s.flow.Disk.Put(k, b)
+		_ = s.flow.Disk.Put(r.Context(), k, b)
 	}
 	w.WriteHeader(http.StatusNoContent)
 }

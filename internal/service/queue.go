@@ -412,6 +412,23 @@ func (q *Queue) Get(id string) (*Job, bool) {
 	return j, ok
 }
 
+// GetByRequestID returns the most recently submitted job whose submitting
+// request carried the given request id. Job ids are per-replica; the
+// request id is the fleet-wide key trace federation looks up by.
+func (q *Queue) GetByRequestID(rid string) (*Job, bool) {
+	if rid == "" {
+		return nil, false
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i := len(q.order) - 1; i >= 0; i-- {
+		if j := q.byID[q.order[i]]; j != nil && j.requestID == rid {
+			return j, true
+		}
+	}
+	return nil, false
+}
+
 // Depth returns the number of queued (not yet running) jobs.
 func (q *Queue) Depth() int { return len(q.ch) }
 

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/cluster"
+	"repro/internal/cluster/overview"
 	"repro/internal/core"
 	"repro/internal/gatelib"
 	"repro/internal/lattice"
@@ -113,6 +114,10 @@ type Server struct {
 	peer      cache.Layer
 	single    cluster.Group
 	admission *admission
+	// overview aggregates the fleet's /internal/stats snapshots in the
+	// background; nil outside a fleet (GET /v1/cluster/overview then
+	// serves a one-replica view computed on demand).
+	overview *overview.Aggregator
 }
 
 // New builds a server (it does not listen; see Handler).
@@ -215,6 +220,20 @@ func New(cfg Config) (*Server, error) {
 		s.recordFlight(j)
 		s.admission.observe(j.RunSeconds())
 	})
+	if s.node != nil {
+		// Built after the queue: the aggregator seeds itself with a local
+		// stats snapshot, which reads queue state.
+		s.overview = overview.New(overview.Config{
+			SelfStats: s.statsSnapshot,
+			Members:   s.node.Status,
+			Client:    s.node.Client(),
+			Secret:    s.node.Secret(),
+			Interval:  cfg.Cluster.ProbeInterval,
+			Tracer:    s.tr,
+			Logger:    s.log,
+		})
+		s.overview.Start()
+	}
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/flow", s.handleFlow)
@@ -224,6 +243,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/defects/sweep", s.handleDefectSweep)
 	s.mux.HandleFunc("GET /internal/cache/{key}", s.handleInternalCacheGet)
 	s.mux.HandleFunc("PUT /internal/cache/{key}", s.handleInternalCachePut)
+	s.mux.HandleFunc("GET /internal/stats", s.handleInternalStats)
+	s.mux.HandleFunc("GET /internal/trace/{id}", s.handleInternalTrace)
+	s.mux.HandleFunc("GET /v1/cluster/overview", s.handleClusterOverview)
 	s.mux.HandleFunc("GET /v1/gates", s.handleGates)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
@@ -249,6 +271,9 @@ func (s *Server) CacheStats() cache.Stats { return s.lru.Stats() }
 // Drain stops accepting jobs and waits for in-flight work (see
 // Queue.Drain). In a fleet it also stops the peer probe loop.
 func (s *Server) Drain(ctx context.Context) error {
+	if s.overview != nil {
+		s.overview.Stop()
+	}
 	if s.node != nil {
 		s.node.Stop()
 	}
@@ -367,10 +392,25 @@ func (s *Server) coldSolve(kind string) {
 }
 
 // jobFn adapts a preparedOp into the queue's JobFunc, threading the
-// request ID and routing the execution through the single-flight group.
-func (s *Server) jobFn(op *preparedOp, rid string, jtr *obs.Tracer) JobFunc {
+// request ID and hop marker and routing the execution through the
+// single-flight group. When the request arrived forwarded from a peer,
+// the job trace opens with a zero-length "hop" marker span naming the
+// forwarding replica, the hop index, and the entry-side span this
+// execution nests under — the stitching anchors for /v1/traces/{id}.
+func (s *Server) jobFn(op *preparedOp, rid string, hop obs.Hop, jtr *obs.Tracer) JobFunc {
 	return func(ctx context.Context) (any, error) {
 		ctx = obs.ContextWithRequestID(ctx, rid)
+		ctx = obs.ContextWithHop(ctx, hop)
+		if hop.Forwarded {
+			sp := jtr.Start("hop")
+			sp.SetAttr("forwarded", true)
+			sp.SetAttr("peer", hop.Peer)
+			sp.SetAttr("hop", hop.Index)
+			if hop.ParentSpan != "" {
+				sp.SetAttr("parent_span", hop.ParentSpan)
+			}
+			sp.End()
+		}
 		jr, err := s.runCoalesced(ctx, op, jtr)
 		if err != nil {
 			// Return an untyped nil: a typed-nil *jobResult inside the any
@@ -618,7 +658,8 @@ func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 	}
 	rid := obs.RequestIDFromContext(r.Context())
 	jtr := s.newJobTracer()
-	j, ok := s.submit(w, "flow", rid, jtr, op.timeoutMS, s.jobFn(op, rid, jtr))
+	j, ok := s.submit(w, "flow", rid, jtr, op.timeoutMS,
+		s.jobFn(op, rid, obs.HopFromContext(r.Context()), jtr))
 	if !ok {
 		return
 	}
@@ -825,7 +866,8 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	rid := obs.RequestIDFromContext(r.Context())
 	jtr := s.newJobTracer()
-	j, ok := s.submit(w, "simulate", rid, jtr, op.timeoutMS, s.jobFn(op, rid, jtr))
+	j, ok := s.submit(w, "simulate", rid, jtr, op.timeoutMS,
+		s.jobFn(op, rid, obs.HopFromContext(r.Context()), jtr))
 	if !ok {
 		return
 	}
@@ -901,7 +943,7 @@ func (s *Server) prepareValidate(req *validateRequest) (*preparedOp, error) {
 			sp.SetAttr("request_id", rid)
 		}
 		sp.SetAttr("gate", gate)
-		v, hit, err := cache.CachedValidate(s.lru, s.tracedPeer(jtr), d, truth, params,
+		v, hit, err := cache.CachedValidate(ctx, s.lru, s.tracedPeer(jtr), d, truth, params,
 			gatelib.ValidateOptions{Solver: solverName, Surface: surf})
 		if err != nil {
 			return nil, err
@@ -953,7 +995,8 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 	}
 	rid := obs.RequestIDFromContext(r.Context())
 	jtr := s.newJobTracer()
-	j, ok := s.submit(w, "validate", rid, jtr, op.timeoutMS, s.jobFn(op, rid, jtr))
+	j, ok := s.submit(w, "validate", rid, jtr, op.timeoutMS,
+		s.jobFn(op, rid, obs.HopFromContext(r.Context()), jtr))
 	if !ok {
 		return
 	}
@@ -999,9 +1042,18 @@ func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
 // job's tracer (span tree with durations and attributes, including the
 // request_id of the request that submitted it, plus any solver metrics
 // the stages recorded). A running job reports its elapsed stages so far.
+// Job ids are per-replica, so in a fleet a miss is not final: the
+// X-Job-Id a client got back for a forwarded request names a job on the
+// OWNER replica, and the entry replica resolves it by federating the
+// lookup across live peers.
 func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.queue.Get(r.PathValue("id"))
+	id := r.PathValue("id")
+	j, ok := s.queue.Get(id)
 	if !ok {
+		if st, found := s.federateTrace(r, id, flight.Trace{}, false); found {
+			writeJSON(w, http.StatusOK, st)
+			return
+		}
 		writeErrKind(w, http.StatusNotFound, ErrKindNotFound, "no such job")
 		return
 	}
@@ -1044,25 +1096,209 @@ func (s *Server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.flight.Summary())
 }
 
-// handleTraceGet serves a retained trace by job id. It prefers the flight
-// recorder (which outlives the job history) and falls back to the live
-// job's tracer for jobs not yet or never admitted.
+// handleTraceGet serves a retained trace by job id OR request id. It
+// prefers the flight recorder (which outlives the job history), then the
+// recorder's request-id index, then live jobs. In a fleet, when the id is
+// unknown locally — or the local record is only the entry replica's
+// forward stub ("fwd-" prefix) — the lookup federates across live peers
+// and returns one stitched multi-hop trace under the original request id.
 func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if t, ok := s.flight.Get(id); ok {
+	t, ok := s.localTrace(id)
+	if ok && !strings.HasPrefix(t.ID, "fwd-") {
 		writeJSON(w, http.StatusOK, t)
 		return
 	}
-	if j, ok := s.queue.Get(id); ok {
-		if jtr := j.Tracer(); jtr != nil {
-			writeJSON(w, http.StatusOK, map[string]any{
-				"job":   j.Snapshot(),
-				"trace": jtr.Report(j.ID),
-			})
-			return
-		}
+	if st, found := s.federateTrace(r, id, t, ok); found {
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	if ok {
+		// Forward stub with no reachable remote half: still the honest
+		// entry-side record (owner died, or its rings evicted the trace).
+		writeJSON(w, http.StatusOK, t)
+		return
 	}
 	writeErrKind(w, http.StatusNotFound, ErrKindNotFound, "no retained trace for %s", id)
+}
+
+// localTrace resolves id against every local trace store, in durability
+// order: flight recorder by trace id, flight recorder by request id, live
+// jobs by job id, live jobs by request id.
+func (s *Server) localTrace(id string) (flight.Trace, bool) {
+	if t, ok := s.flight.Get(id); ok {
+		return t, true
+	}
+	if t, ok := s.flight.GetByRequestID(id); ok {
+		return t, true
+	}
+	if j, ok := s.queue.Get(id); ok {
+		return liveTrace(j), true
+	}
+	if j, ok := s.queue.GetByRequestID(id); ok {
+		return liveTrace(j), true
+	}
+	return flight.Trace{}, false
+}
+
+// liveTrace renders a job still in the queue's history in the flight
+// recorder's Trace shape, so local and federated lookups speak one type.
+func liveTrace(j *Job) flight.Trace {
+	st := j.Snapshot()
+	t := flight.Trace{
+		ID:        j.ID,
+		Kind:      j.Kind,
+		State:     string(st.State),
+		ErrorKind: st.ErrorKind,
+		RequestID: j.RequestID(),
+		StartedAt: j.CreatedAt(),
+		Seconds:   j.RunSeconds(),
+	}
+	if jtr := j.Tracer(); jtr != nil {
+		t.Report = jtr.Report(j.ID)
+	}
+	return t
+}
+
+// handleInternalTrace is the fleet's trace-lookup endpoint: a peer asks
+// this replica for its local view of a trace id or request id. It is
+// strictly local — it never federates, which (besides the forwarded-
+// request guard in federateTrace) makes lookup loops structurally
+// impossible.
+func (s *Server) handleInternalTrace(w http.ResponseWriter, r *http.Request) {
+	if !s.authorizeInternal(r) {
+		writeErr(w, http.StatusForbidden, "cluster secret required")
+		return
+	}
+	id := r.PathValue("id")
+	if t, ok := s.localTrace(id); ok {
+		writeJSON(w, http.StatusOK, t)
+		return
+	}
+	writeErrKind(w, http.StatusNotFound, ErrKindNotFound, "no retained trace for %s", id)
+}
+
+// stitchTimeout bounds one whole federated trace lookup.
+const stitchTimeout = 2 * time.Second
+
+// stitchedTrace is the merged multi-hop view of one distributed request:
+// each hop's own retained trace, plus one synthetic RunReport nesting
+// every hop's stages for tools that expect a single span tree.
+type stitchedTrace struct {
+	RequestID string         `json:"request_id"`
+	Stitched  bool           `json:"stitched"`
+	Hops      []stitchedHop  `json:"hops"`
+	Trace     *obs.RunReport `json:"trace,omitempty"`
+}
+
+type stitchedHop struct {
+	Peer  string       `json:"peer"`
+	Trace flight.Trace `json:"trace"`
+}
+
+// federateTrace queries every live peer for its half of a distributed
+// trace and stitches the answers together with this replica's local view
+// (when it has one). It declines outside a fleet and on requests that
+// themselves arrived forwarded (loop guard); it reports found=false when
+// no peer held anything, so callers fall back to local-only output.
+func (s *Server) federateTrace(r *http.Request, id string, local flight.Trace, haveLocal bool) (*stitchedTrace, bool) {
+	if s.node == nil || r.Header.Get(cluster.ForwardedHeader) != "" {
+		return nil, false
+	}
+	// Prefer the request id as the cross-fleet key: job ids are
+	// per-replica, request ids name the whole distributed execution.
+	key := id
+	if haveLocal && local.RequestID != "" {
+		key = local.RequestID
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), stitchTimeout)
+	defer cancel()
+	st := &stitchedTrace{RequestID: key, Stitched: true}
+	if haveLocal {
+		st.Hops = append(st.Hops, stitchedHop{Peer: s.node.Self(), Trace: local})
+	}
+	remote := 0
+	for _, m := range s.node.Status().Members {
+		if m.Self || !m.Alive {
+			continue
+		}
+		t, err := s.fetchPeerTrace(ctx, m.Addr, key)
+		if err != nil {
+			continue // miss or dead peer: stitch what the fleet still has
+		}
+		st.Hops = append(st.Hops, stitchedHop{Peer: m.Addr, Trace: *t})
+		remote++
+	}
+	if remote == 0 {
+		return nil, false
+	}
+	st.Trace = mergeHops(key, st.Hops)
+	return st, true
+}
+
+// fetchPeerTrace asks one peer for its local view of a trace key, using
+// the same secret authorization as the peer-cache protocol and marking
+// the request forwarded so the peer can never federate further.
+func (s *Server) fetchPeerTrace(ctx context.Context, addr, key string) (*flight.Trace, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		"http://"+addr+"/internal/trace/"+key, nil)
+	if err != nil {
+		return nil, err
+	}
+	if sec := s.node.Secret(); sec != "" {
+		req.Header.Set(cluster.SecretHeader, sec)
+	}
+	req.Header.Set(cluster.ForwardedHeader, s.node.Self())
+	if rid := obs.RequestIDFromContext(ctx); rid != "" {
+		req.Header.Set(cluster.RequestIDHeader, rid)
+	}
+	resp, err := s.node.Client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("peer trace %s: status %d", addr, resp.StatusCode)
+	}
+	var t flight.Trace
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&t); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// mergeHops folds per-hop traces into one synthetic RunReport: one
+// "hop:<peer>" stage per hop, its children the hop's own stage tree. The
+// report spans the earliest hop start to the slowest hop duration.
+func mergeHops(key string, hops []stitchedHop) *obs.RunReport {
+	rep := &obs.RunReport{Name: "stitched-" + key}
+	for _, h := range hops {
+		seg := &obs.StageReport{
+			Name:    "hop:" + h.Peer,
+			Seconds: h.Trace.Seconds,
+			Attrs: map[string]any{
+				"peer":   h.Peer,
+				"job_id": h.Trace.ID,
+				"state":  h.Trace.State,
+			},
+		}
+		if h.Trace.ErrorKind != "" {
+			seg.Attrs["error_kind"] = h.Trace.ErrorKind
+		}
+		if h.Trace.Report != nil {
+			seg.Children = h.Trace.Report.Stages
+		}
+		if !h.Trace.StartedAt.IsZero() &&
+			(rep.StartedAt.IsZero() || h.Trace.StartedAt.Before(rep.StartedAt)) {
+			rep.StartedAt = h.Trace.StartedAt
+		}
+		if h.Trace.Seconds > rep.WallSeconds {
+			rep.WallSeconds = h.Trace.Seconds
+		}
+		rep.Stages = append(rep.Stages, seg)
+	}
+	return rep
 }
 
 // handleHealthz reports liveness plus an operational snapshot: queue and
@@ -1154,6 +1390,66 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, out)
 }
 
+// ---- fleet observability plane ----
+
+// statsSnapshot renders this replica's compact operational snapshot for
+// the overview plane: everything /healthz and /metrics already expose,
+// but in one cheap authenticated round trip for peers.
+func (s *Server) statsSnapshot() overview.Stats {
+	u := s.utilization()
+	st := overview.Stats{
+		Addr:          "self",
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Draining:      s.queue.Draining(),
+		Saturation: overview.Saturation{
+			QueueDepth:    s.queue.Depth(),
+			QueueCapacity: s.cfg.QueueDepth,
+			JobsRunning:   s.queue.Running(),
+			Workers:       s.cfg.Workers,
+			InFlight:      s.inFlight.Load(),
+			Utilization:   u,
+			Shedding:      sheddingClasses(u),
+		},
+		Cache:       map[string]overview.CacheTier{},
+		SLO:         s.slo.Snapshot(),
+		RingMembers: 1,
+	}
+	if s.node != nil {
+		st.Addr = s.node.Self()
+		st.RingMembers = s.node.Status().RingMembers
+	}
+	st.Cache["mem"] = overview.CacheTier{HitRate: s.lru.Stats().HitRate()}
+	if r, ok := s.flow.Disk.(*cache.Resilient); ok {
+		st.Cache["disk"] = overview.CacheTier{BreakerState: r.State().String()}
+	}
+	if r, ok := s.peer.(*cache.Resilient); ok {
+		st.Cache["peer"] = overview.CacheTier{BreakerState: r.State().String()}
+	}
+	return st
+}
+
+// handleInternalStats serves the compact stats snapshot to fleet peers
+// (the overview aggregator's poll target), guarded like /internal/cache.
+func (s *Server) handleInternalStats(w http.ResponseWriter, r *http.Request) {
+	if !s.authorizeInternal(r) {
+		writeErr(w, http.StatusForbidden, "cluster secret required")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.statsSnapshot())
+}
+
+// handleClusterOverview serves the merged fleet view: per-replica
+// saturation, cache tier health, SLO burn, ring membership, dead peers,
+// and fleet-wide burn rates — the same payload from any replica. Outside
+// a fleet it degrades to a one-replica view computed on demand.
+func (s *Server) handleClusterOverview(w http.ResponseWriter, r *http.Request) {
+	if s.overview != nil {
+		writeJSON(w, http.StatusOK, s.overview.Snapshot())
+		return
+	}
+	writeJSON(w, http.StatusOK, overview.Single(s.statsSnapshot()))
+}
+
 // metricHelp maps sanitized Prometheus family names to their HELP text.
 var metricHelp = map[string]string{
 	"http_requests_total":                "HTTP requests by method, normalized route, and status code.",
@@ -1218,6 +1514,11 @@ var metricHelp = map[string]string{
 	"cache_peer_retries_total":           "Peer-cache operations retried after a transient failure.",
 	"cache_peer_io_errors_total":         "Peer-cache operation failures (each attempt, before retry).",
 	"cache_peer_short_circuits_total":    "Peer-cache operations skipped because the breaker was open.",
+	"cluster_overview_replicas_alive":    "Fleet members currently probed alive (overview aggregator view).",
+	"cluster_overview_replicas_dead":     "Fleet members currently probed dead (overview aggregator view).",
+	"cluster_overview_degraded":          "1 when any replica is dead, draining, shedding, or has an open cache breaker.",
+	"cluster_overview_burn_rate":         "Fleet-wide SLO burn rate per objective and window (raw counts summed across replicas).",
+	"cluster_overview_utilization":       "Queue+worker utilization per replica, from the overview poll.",
 }
 
 // handleMetrics renders every tracer metric in the Prometheus text

@@ -1,0 +1,245 @@
+// Command benchdiff compares freshly generated service benchmark reports
+// (BENCH_service.json, BENCH_fleet.json) against the baselines committed
+// at a git ref (HEAD by default) and renders the deltas as a markdown
+// table, written to BENCH_diff.md and echoed to stdout.
+//
+// Every numeric leaf in the two JSON trees is compared by its dotted
+// path. Metrics whose direction is known (latencies and error counts are
+// lower-better, throughput and hit rates are higher-better) are flagged
+// as regressions when they move the wrong way by more than the tolerance
+// band; everything else is reported as drift only. The exit code is zero
+// unless -gate is set AND at least one known-direction metric regressed
+// beyond tolerance — benchmarks on shared CI runners are too noisy for a
+// hard gate by default, but the table is always produced as an artifact.
+//
+//	go run ./scripts/benchdiff
+//	go run ./scripts/benchdiff -tolerance 0.5 -gate
+//	make bench-diff
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+)
+
+func main() {
+	var (
+		files     = flag.String("files", "BENCH_service.json,BENCH_fleet.json", "comma-separated benchmark reports to diff")
+		ref       = flag.String("baseline-ref", "HEAD", "git ref holding the baseline reports")
+		tolerance = flag.Float64("tolerance", 0.25, "relative tolerance band; moves beyond it are flagged")
+		out       = flag.String("o", "BENCH_diff.md", "output markdown file")
+		gate      = flag.Bool("gate", false, "exit nonzero when a known-direction metric regresses beyond tolerance")
+	)
+	flag.Parse()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Benchmark diff vs %s\n\n", *ref)
+	fmt.Fprintf(&b, "Tolerance band: ±%.0f%%. ⚠ marks a known-direction metric that moved the wrong way beyond the band; ~ marks drift beyond the band in a metric with no known direction.\n", 100**tolerance)
+
+	regressions := 0
+	for _, file := range strings.Split(*files, ",") {
+		file = strings.TrimSpace(file)
+		if file == "" {
+			continue
+		}
+		fmt.Fprintf(&b, "\n## %s\n\n", file)
+		curRaw, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintf(&b, "_no fresh report (%v) — run the matching `make bench-*` target first_\n", err)
+			continue
+		}
+		baseRaw, err := exec.Command("git", "show", *ref+":"+file).Output()
+		if err != nil {
+			fmt.Fprintf(&b, "_no baseline at %s (%v) — first run establishes it_\n", *ref, err)
+			continue
+		}
+		rows, err := diffReports(baseRaw, curRaw, *tolerance)
+		if err != nil {
+			fmt.Fprintf(&b, "_diff failed: %v_\n", err)
+			continue
+		}
+		fmt.Fprintln(&b, "| metric | baseline | current | delta | |")
+		fmt.Fprintln(&b, "|---|---:|---:|---:|---|")
+		for _, r := range rows {
+			baseCell, curCell := formatNum(r.base), formatNum(r.cur)
+			if r.delta == "new" {
+				baseCell = "—"
+			}
+			if r.delta == "gone" {
+				curCell = "—"
+			}
+			fmt.Fprintf(&b, "| %s | %s | %s | %s | %s |\n",
+				r.path, baseCell, curCell, r.delta, r.flag)
+			if r.flag == "⚠" {
+				regressions++
+			}
+		}
+	}
+
+	md := b.String()
+	fmt.Print(md)
+	if err := os.WriteFile(*out, []byte(md), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchdiff: wrote %s (%d regression(s) beyond tolerance)\n", *out, regressions)
+	if *gate && regressions > 0 {
+		os.Exit(1)
+	}
+}
+
+type row struct {
+	path      string
+	base, cur float64
+	delta     string
+	flag      string
+}
+
+// diffReports flattens both JSON documents to dotted numeric leaves and
+// builds one table row per path present in either side.
+func diffReports(baseRaw, curRaw []byte, tolerance float64) ([]row, error) {
+	base, err := flatten(baseRaw)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	cur, err := flatten(curRaw)
+	if err != nil {
+		return nil, fmt.Errorf("current: %w", err)
+	}
+	paths := map[string]bool{}
+	for p := range base {
+		paths[p] = true
+	}
+	for p := range cur {
+		paths[p] = true
+	}
+	sorted := make([]string, 0, len(paths))
+	for p := range paths {
+		sorted = append(sorted, p)
+	}
+	sort.Strings(sorted)
+
+	rows := make([]row, 0, len(sorted))
+	for _, p := range sorted {
+		bv, inBase := base[p]
+		cv, inCur := cur[p]
+		r := row{path: p, base: bv, cur: cv}
+		switch {
+		case !inBase:
+			r.delta, r.flag = "new", ""
+		case !inCur:
+			r.delta, r.flag = "gone", "~"
+		default:
+			rel := relDelta(bv, cv)
+			r.delta = formatDelta(bv, cv, rel)
+			if math.Abs(rel) > tolerance {
+				switch direction(p) {
+				case lowerBetter:
+					if cv > bv {
+						r.flag = "⚠"
+					}
+				case higherBetter:
+					if cv < bv {
+						r.flag = "⚠"
+					}
+				default:
+					r.flag = "~"
+				}
+			}
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// flatten renders every numeric leaf of a JSON document as a dotted path.
+// Arrays use the element index as the path segment.
+func flatten(raw []byte) (map[string]float64, error) {
+	var doc any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	var walk func(prefix string, v any)
+	walk = func(prefix string, v any) {
+		switch t := v.(type) {
+		case map[string]any:
+			for k, c := range t {
+				p := k
+				if prefix != "" {
+					p = prefix + "." + k
+				}
+				walk(p, c)
+			}
+		case []any:
+			for i, c := range t {
+				walk(fmt.Sprintf("%s.%d", prefix, i), c)
+			}
+		case float64:
+			out[prefix] = t
+		case bool:
+			// Booleans participate so a flipped scrape_ok shows up.
+			if t {
+				out[prefix] = 1
+			} else {
+				out[prefix] = 0
+			}
+		}
+	}
+	walk("", doc)
+	return out, nil
+}
+
+type dir int
+
+const (
+	unknown dir = iota
+	lowerBetter
+	higherBetter
+)
+
+// direction classifies a metric path by its final segment: timings and
+// error counts should shrink, rates and speedups should grow. Structural
+// counts (requests, replicas, cold_solves) have no inherent direction —
+// cold_solves moving means the workload changed, not that it got worse.
+func direction(path string) dir {
+	seg := path[strings.LastIndex(path, ".")+1:]
+	switch {
+	case strings.HasSuffix(seg, "_ms"), seg == "wall_seconds", seg == "errors":
+		return lowerBetter
+	case strings.HasSuffix(seg, "hit_rate"), strings.HasSuffix(seg, "speedup"),
+		seg == "throughput_rps", seg == "metrics_scrape_ok":
+		return higherBetter
+	}
+	return unknown
+}
+
+func relDelta(base, cur float64) float64 {
+	if base == 0 {
+		if cur == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (cur - base) / math.Abs(base)
+}
+
+func formatDelta(base, cur, rel float64) string {
+	if math.IsInf(rel, 0) {
+		return fmt.Sprintf("%+g", cur-base)
+	}
+	return fmt.Sprintf("%+.1f%%", 100*rel)
+}
+
+func formatNum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e12 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4g", v)
+}

@@ -43,6 +43,9 @@ func fleetScenario(bin string) {
 			"-peers", strings.Join(peers, ","),
 			"-cluster-secret", secret,
 			"-probe-interval", "200ms",
+			// A short burn window lets the post-storm "burn recovers to
+			// zero" check converge within the smoke-test budget.
+			"-slo-short-window", "3s",
 			"-log-level", "warn",
 		)
 		procs[i].Stdout, procs[i].Stderr = nil, nil
@@ -170,6 +173,32 @@ func fleetScenario(bin string) {
 		}
 	}
 
+	step("fleet: cluster overview must mark the dead replica within the probe window")
+	// The overview aggregator polls on the probe interval, so the corpse
+	// should show up as a dead replica on any survivor shortly after the
+	// membership layer notices.
+	deadline = time.Now().Add(10 * time.Second)
+	for _, t := range survivors {
+		for {
+			var ov fleetOverview
+			fleetGetJSON(t, "/v1/cluster/overview", &ov)
+			victimDead := false
+			for _, rep := range ov.Replicas {
+				if rep.Addr == addrs[victim] && !rep.Alive {
+					victimDead = true
+				}
+			}
+			if victimDead && ov.DeadCount >= 1 && ov.Degraded {
+				break
+			}
+			if time.Now().After(deadline) {
+				fatal(fmt.Errorf("fleet: overview at %s never marked %s dead (dead_count=%d degraded=%v)",
+					t, addrs[victim], ov.DeadCount, ov.Degraded))
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+
 	step("fleet: survivor queues must drain to zero")
 	deadline = time.Now().Add(30 * time.Second)
 	for _, t := range survivors {
@@ -195,6 +224,29 @@ func fleetScenario(bin string) {
 		}
 	}
 
+	step("fleet: burn rate must recover to zero once the storm is over")
+	// The replicas run a 3s short SLO window; after the storm goes idle,
+	// any error budget burned during the kill must roll out of the window
+	// and the fleet-wide short-window burn must read zero again.
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		var ov fleetOverview
+		fleetGetJSON(survivors[0], "/v1/cluster/overview", &ov)
+		burning := false
+		for _, b := range ov.FleetBurn {
+			if b.Window == "3s" && b.BurnRate > 0 {
+				burning = true
+			}
+		}
+		if !burning {
+			break
+		}
+		if time.Now().After(deadline) {
+			fatal(fmt.Errorf("fleet: short-window burn never recovered to zero: %+v", ov.FleetBurn))
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+
 	step("fleet: SIGTERM survivors; both must drain and exit cleanly")
 	for i, t := range survivors {
 		if err := procs[i].Process.Signal(syscall.SIGTERM); err != nil {
@@ -213,6 +265,20 @@ func fleetScenario(bin string) {
 		procs[i] = nil
 	}
 	fmt.Println("chaos-smoke: fleet replica-death scenario passed")
+}
+
+type fleetOverview struct {
+	Replicas []struct {
+		Addr  string `json:"addr"`
+		Alive bool   `json:"alive"`
+	} `json:"replicas"`
+	DeadCount int  `json:"dead_count"`
+	Degraded  bool `json:"degraded"`
+	FleetBurn []struct {
+		SLO      string  `json:"slo"`
+		Window   string  `json:"window"`
+		BurnRate float64 `json:"burn_rate"`
+	} `json:"fleet_burn"`
 }
 
 type fleetHealth struct {

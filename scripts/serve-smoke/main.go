@@ -266,6 +266,8 @@ func main() {
 		fatal(fmt.Errorf("shutdown report not written: %w", err))
 	}
 
+	fleetSmoke(bin)
+
 	fmt.Println("serve-smoke: PASS")
 }
 
