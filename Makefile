@@ -15,9 +15,16 @@ test:
 # SAT race coverage while skipping the hour-long exhaustive sweeps). The
 # second test run drives the sharded QuickExact search and the parallel
 # operational-domain sweep — the two many-goroutine hot paths — through
-# their full (non-short) tests under the race detector.
+# their full (non-short) tests under the race detector. staticcheck runs
+# when installed (CI installs it; locally: go install
+# honnef.co/go/tools/cmd/staticcheck@latest).
 check:
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo staticcheck ./...; staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 	$(GO) test -race -short ./...
 	$(GO) test -race -run 'TestDeterministicAcrossRunsAndWorkers|TestLargeInstanceExact|TestParallelMatchesSerial|TestSweepMetrics' \
 		./internal/sim/quickexact ./internal/opdomain

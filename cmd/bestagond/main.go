@@ -9,6 +9,7 @@
 //	bestagond                                 # listen on :8711, 2 workers
 //	bestagond -addr :9000 -workers 8
 //	bestagond -cache-size 256 -cache-dir /var/cache/bestagond
+//	bestagond -journal-dir /var/lib/bestagond/journal -recover resubmit
 //	bestagond -solver quickexact -job-timeout 5m
 //	bestagond -log-level debug                # structured request logs
 //	bestagond -pprof-addr localhost:6060      # live profiling endpoint
@@ -47,6 +48,15 @@
 // jobs are drained; jobs still running when the grace period expires are
 // canceled mid-search (the SAT, branch-and-bound, and annealing loops all
 // honor cancellation).
+//
+// With -journal-dir set, every submission is fsynced to a write-ahead
+// journal before its job id is returned. After a crash (SIGKILL, OOM,
+// power loss) the journal replays on restart, so every pre-crash job id
+// still answers on /v1/jobs/{id}: as failed with error_kind
+// "interrupted" by default, or — with -recover resubmit — as a
+// re-enqueued run of the journaled request bytes under the same id.
+// Client retries can reattach to submissions via an Idempotency-Key
+// request header.
 package main
 
 import (
@@ -82,6 +92,8 @@ func main() {
 		jobTimeout = flag.Duration("job-timeout", 10*time.Minute, "default per-job deadline (0 = none); requests may shorten it via timeout_ms")
 		cacheSize  = flag.Int64("cache-size", 64, "in-memory result cache bound in MiB")
 		cacheDir   = flag.String("cache-dir", "", "directory for the persistent flow-artifact cache (empty = memory only)")
+		journalDir = flag.String("journal-dir", "", "directory for the write-ahead job journal (empty = jobs are lost on crash)")
+		recovMode  = flag.String("recover", "fail", "what to do with jobs the journal shows queued/running at crash: fail (surface as error_kind interrupted) or resubmit (re-enqueue from journaled request bytes)")
 		solver     = flag.String("solver", "", "default ground-state solver: "+strings.Join(sim.SolverNames(), ", ")+" (default auto)")
 		drainGrace = flag.Duration("drain-grace", 30*time.Second, "shutdown grace period before in-flight jobs are canceled")
 		logLevel   = flag.String("log-level", "info", "structured log threshold: debug, info, warn, error")
@@ -174,6 +186,9 @@ func main() {
 		DegradeMargin: *degradeMargin,
 		SLOWindows:    []time.Duration{*sloShort, *sloLong},
 		Cluster:       clusterCfg,
+		JournalDir:    *journalDir,
+		RecoverMode:   *recovMode,
+		DrainGrace:    *drainGrace,
 	})
 	if err != nil {
 		fatal(err)

@@ -9,15 +9,31 @@ import (
 	"strings"
 
 	"repro/internal/faults"
+	"repro/internal/journal"
+	"repro/internal/obs"
+	"repro/internal/obs/obslog"
 )
 
 // Disk is an optional persistent layer for flow-level artifacts. Entries
 // are plain files addressed by key, fanned out over 256 two-hex-digit
-// subdirectories; writes go through a temp file plus rename so readers
-// never observe a partial entry. Disk never evicts — operators bound it by
-// pointing -cache-dir at a managed directory.
+// subdirectories. Durability discipline:
+//
+//   - Put writes a temp file, fsyncs it, renames it into place, and
+//     fsyncs the parent directory — a crash at any point leaves either
+//     the old entry or the new one, never a torn file behind the rename.
+//   - Every entry is framed with the journal package's checksummed record
+//     header (magic + length + CRC-32C), and Get verifies it: a corrupt or
+//     truncated entry is quarantined to <entry>.corrupt and reported as a
+//     clean miss (cache_disk_corrupt_total counts them), so storage rot
+//     costs one re-solve instead of serving garbage.
+//
+// Disk never evicts — operators bound it by pointing -cache-dir at a
+// managed directory.
 type Disk struct {
 	dir string
+	// tr receives the corruption counter (nil-safe; see Instrument).
+	tr  *obs.Tracer
+	log *obslog.Logger
 }
 
 // NewDisk opens (creating if needed) a disk cache rooted at dir.
@@ -26,6 +42,13 @@ func NewDisk(dir string) (*Disk, error) {
 		return nil, fmt.Errorf("cache: disk: %w", err)
 	}
 	return &Disk{dir: dir}, nil
+}
+
+// Instrument attaches the tracer and logger that receive corruption
+// counts and quarantine logs (both nil-safe). Call before first use.
+func (d *Disk) Instrument(tr *obs.Tracer, log *obslog.Logger) {
+	d.tr = tr
+	d.log = log
 }
 
 // path maps a key to its file. The key's domain tag becomes part of the
@@ -39,41 +62,75 @@ func (d *Disk) path(key Key) string {
 	return filepath.Join(d.dir, hexPart[:2], name+".bin")
 }
 
-// Get reads the entry for key. A clean miss is (nil, false, nil); an I/O
-// failure is reported as an error so the resilient layer above can retry
-// it and trip its breaker (a missing entry is not a failure).
+// Get reads and verifies the entry for key. A clean miss is
+// (nil, false, nil); an I/O failure is reported as an error so the
+// resilient layer above can retry it and trip its breaker. An entry that
+// fails verification — torn by a crash predating the fsync discipline,
+// truncated by a full disk, or bit-rotted — is quarantined and reported
+// as a clean miss: corruption is a cache-content problem, not a
+// cache-device problem, so it must cost a re-solve, not a breaker trip.
 func (d *Disk) Get(_ context.Context, key Key) ([]byte, bool, error) {
 	if err := faults.Fail("cache.disk.read"); err != nil {
 		return nil, false, err
 	}
-	b, err := os.ReadFile(d.path(key))
+	p := d.path(key)
+	b, err := os.ReadFile(p)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return nil, false, nil
 		}
 		return nil, false, fmt.Errorf("cache: disk get: %w", err)
 	}
-	return b, true, nil
+	payload, err := journal.Unseal(b)
+	if err != nil {
+		d.quarantine(p, err)
+		return nil, false, nil
+	}
+	return payload, true, nil
 }
 
-// Put writes the entry atomically (temp file + rename). Errors are
-// returned for the caller to log; a failed Put never corrupts the store.
+// quarantine moves a damaged entry aside as <entry>.corrupt (best effort;
+// a rename failure falls back to removal) so the slot reads as a miss and
+// the evidence survives for postmortems.
+func (d *Disk) quarantine(p string, cause error) {
+	d.tr.Counter("cache/disk/corrupt_total").Inc()
+	if err := os.Rename(p, p+".corrupt"); err != nil {
+		os.Remove(p)
+	}
+	d.log.Warn("cache_disk_entry_quarantined",
+		obslog.F("entry", filepath.Base(p)),
+		obslog.F("error", cause.Error()))
+}
+
+// Put writes the entry durably: checksummed framing, temp file, fsync,
+// rename, directory fsync. Errors are returned for the caller to log; a
+// failed Put never corrupts the store, and a crash mid-Put never leaves a
+// zero-length or torn entry visible behind the rename.
 func (d *Disk) Put(_ context.Context, key Key, val []byte) error {
 	if err := faults.Fail("cache.disk.write"); err != nil {
 		return err
 	}
 	p := d.path(key)
-	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+	dir := filepath.Dir(p)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("cache: disk put: %w", err)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(p), ".tmp-*")
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
 	if err != nil {
 		return fmt.Errorf("cache: disk put: %w", err)
 	}
-	if _, err := tmp.Write(val); err != nil {
+	if _, err := tmp.Write(journal.Seal(val)); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("cache: disk put: %w", err)
+	}
+	// fsync BEFORE the rename: rename is atomic in the namespace but says
+	// nothing about data blocks — without this, a crash shortly after Put
+	// can leave a correctly-named file with zero or partial content.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: disk put: sync: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
@@ -83,5 +140,19 @@ func (d *Disk) Put(_ context.Context, key Key, val []byte) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("cache: disk put: %w", err)
 	}
+	// fsync the parent directory so the rename itself is durable.
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("cache: disk put: %w", err)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory, making entry renames durable.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
 }

@@ -1,0 +1,147 @@
+package cache
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func mustPut(t *testing.T, d *Disk, key Key, val []byte) {
+	t.Helper()
+	if err := d.Put(context.Background(), key, val); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+}
+
+// entryFile locates the single .bin entry under the cache root.
+func entryFile(t *testing.T, dir string) string {
+	t.Helper()
+	var found string
+	err := filepath.WalkDir(dir, func(p string, de os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !de.IsDir() && strings.HasSuffix(p, ".bin") {
+			found = p
+		}
+		return nil
+	})
+	if err != nil || found == "" {
+		t.Fatalf("no .bin entry under %s (err=%v)", dir, err)
+	}
+	return found
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("flow:deadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeef")
+	val := []byte(`{"artifact":"sqd"}`)
+	mustPut(t, d, key, val)
+	got, ok, err := d.Get(context.Background(), key)
+	if err != nil || !ok {
+		t.Fatalf("Get = ok=%v err=%v, want hit", ok, err)
+	}
+	if !bytes.Equal(got, val) {
+		t.Fatalf("Get = %q, want %q", got, val)
+	}
+}
+
+// TestDiskTruncatedEntryIsCleanMiss is the regression test for the
+// fsync-before-rename fix: an entry torn by a crash (simulated by
+// truncating the file) must read as a clean miss — no error, no garbage
+// payload — and be quarantined aside as *.corrupt.
+func TestDiskTruncatedEntryIsCleanMiss(t *testing.T) {
+	root := t.TempDir()
+	d, err := NewDisk(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.New()
+	d.Instrument(tr, nil)
+	key := Key("flow:abadcafeabadcafeabadcafeabadcafeabadcafeabadcafeabadcafeabadcafe")
+	mustPut(t, d, key, bytes.Repeat([]byte("bestagon "), 64))
+
+	p := entryFile(t, root)
+	fi, err := os.Stat(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(p, fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+
+	got, ok, err := d.Get(context.Background(), key)
+	if err != nil {
+		t.Fatalf("truncated entry returned error %v, want clean miss", err)
+	}
+	if ok || got != nil {
+		t.Fatalf("truncated entry returned hit (%d bytes), want clean miss", len(got))
+	}
+	if _, err := os.Stat(p + ".corrupt"); err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Fatalf("damaged entry still present after quarantine (err=%v)", err)
+	}
+	if v := tr.Counter("cache/disk/corrupt_total").Value(); v != 1 {
+		t.Fatalf("cache/disk/corrupt_total = %d, want 1", v)
+	}
+
+	// The slot must be writable again: a fresh Put re-fills it.
+	mustPut(t, d, key, []byte("fresh"))
+	got, ok, err = d.Get(context.Background(), key)
+	if err != nil || !ok || string(got) != "fresh" {
+		t.Fatalf("re-filled slot Get = %q ok=%v err=%v", got, ok, err)
+	}
+}
+
+// TestDiskBitRotQuarantined flips one payload byte in place; the checksum
+// must catch it and the entry must read as a miss, never as the altered
+// payload.
+func TestDiskBitRotQuarantined(t *testing.T) {
+	root := t.TempDir()
+	d, err := NewDisk(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("flow:0123456701234567012345670123456701234567012345670123456701234567")
+	mustPut(t, d, key, []byte("pristine payload bytes"))
+
+	p := entryFile(t, root)
+	b, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0x01
+	if err := os.WriteFile(p, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, ok, err := d.Get(context.Background(), key)
+	if err != nil || ok {
+		t.Fatalf("bit-rotted entry Get = %q ok=%v err=%v, want clean miss", got, ok, err)
+	}
+	if _, err := os.Stat(p + ".corrupt"); err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+}
+
+// TestDiskMissingIsCleanMiss: an absent entry is a miss, not an error.
+func TestDiskMissingIsCleanMiss(t *testing.T) {
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := d.Get(context.Background(), Key("flow:ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff"))
+	if err != nil || ok || got != nil {
+		t.Fatalf("missing entry Get = %q ok=%v err=%v, want clean miss", got, ok, err)
+	}
+}

@@ -1,0 +1,103 @@
+package journal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Record framing shared by the write-ahead journal and the disk cache's
+// entry files: a fixed magic, a little-endian payload length, a CRC-32C
+// checksum of the payload, then the payload bytes. The magic catches
+// files from before the format existed (or belonging to something else
+// entirely), the length catches truncation, and the checksum catches torn
+// or bit-rotted writes — so a reader can always distinguish "valid",
+// "cleanly absent", and "damaged" without guessing.
+const (
+	// recordMagic opens every sealed record ("BJ1\n").
+	recordMagic uint32 = 0x424a310a
+	// recordHeaderLen is magic (4) + length (4) + crc (4).
+	recordHeaderLen = 12
+	// MaxRecordBytes bounds one record's payload; a length field beyond it
+	// is treated as corruption, not an allocation request.
+	MaxRecordBytes = 64 << 20
+)
+
+// castagnoli is the CRC-32C table (the polynomial with hardware support
+// on modern CPUs, and the conventional choice for storage checksums).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Codec damage classification.
+var (
+	// ErrCorrupt marks a record whose magic or checksum does not match:
+	// the bytes are present but wrong.
+	ErrCorrupt = errors.New("journal: corrupt record")
+	// ErrTruncated marks a record cut short mid-write: a torn tail.
+	ErrTruncated = errors.New("journal: truncated record")
+)
+
+// Seal frames payload as one self-verifying record.
+func Seal(payload []byte) []byte {
+	out := make([]byte, recordHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(out[0:4], recordMagic)
+	binary.LittleEndian.PutUint32(out[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[8:12], crc32.Checksum(payload, castagnoli))
+	copy(out[recordHeaderLen:], payload)
+	return out
+}
+
+// Unseal verifies and strips the framing of a single-record blob (the
+// disk cache's whole-file entries). It returns ErrCorrupt or ErrTruncated
+// when the record cannot be trusted.
+func Unseal(b []byte) ([]byte, error) {
+	if len(b) < recordHeaderLen {
+		return nil, fmt.Errorf("%w: %d header bytes of %d", ErrTruncated, len(b), recordHeaderLen)
+	}
+	if binary.LittleEndian.Uint32(b[0:4]) != recordMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	n := binary.LittleEndian.Uint32(b[4:8])
+	if n > MaxRecordBytes {
+		return nil, fmt.Errorf("%w: implausible length %d", ErrCorrupt, n)
+	}
+	if len(b) < recordHeaderLen+int(n) {
+		return nil, fmt.Errorf("%w: %d payload bytes of %d", ErrTruncated, len(b)-recordHeaderLen, n)
+	}
+	payload := b[recordHeaderLen : recordHeaderLen+int(n)]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(b[8:12]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return payload, nil
+}
+
+// readRecord reads one framed record from r. It returns io.EOF at a clean
+// record boundary, ErrTruncated when the stream ends mid-record (a torn
+// tail), and ErrCorrupt when the bytes are present but fail verification.
+func readRecord(r *bufio.Reader) ([]byte, error) {
+	var hdr [recordHeaderLen]byte
+	n, err := io.ReadFull(r, hdr[:])
+	if n == 0 && err == io.EOF {
+		return nil, io.EOF
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: %d header bytes of %d", ErrTruncated, n, recordHeaderLen)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != recordMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	size := binary.LittleEndian.Uint32(hdr[4:8])
+	if size > MaxRecordBytes {
+		return nil, fmt.Errorf("%w: implausible length %d", ErrCorrupt, size)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: short payload", ErrTruncated)
+	}
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(hdr[8:12]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return payload, nil
+}

@@ -115,8 +115,12 @@ func batchClass(ops []*preparedOp) string {
 // replicas too.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.tr.Counter("http/batch").Inc()
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
 	var req batchRequest
-	if !s.decodeJSON(w, r, &req) {
+	if !unmarshalBody(w, body, &req) {
 		return
 	}
 	if len(req.Items) == 0 {
@@ -262,7 +266,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return &jobResult{body: append(body, '\n'), source: source, degraded: degraded}, nil
 	}
 
-	j, ok := s.submit(w, "batch", rid, jtr, req.TimeoutMS, fn)
+	j, ok := s.submit(w, "batch", rid, jtr,
+		&JobMeta{Path: "/v1/batch", Body: body, TimeoutMS: req.TimeoutMS}, fn)
 	if !ok {
 		return
 	}

@@ -76,6 +76,12 @@ func (s *Server) routeCluster(w http.ResponseWriter, r *http.Request, op *prepar
 	if rid != "" {
 		req.Header.Set(cluster.RequestIDHeader, rid)
 	}
+	if ik := idempotencyKey(r); ik != "" {
+		// The key travels with the forward so the mapping lands on the
+		// key's owner replica — where every retry of this request, from
+		// any entry replica, converges.
+		req.Header.Set(IdempotencyKeyHeader, ik)
+	}
 	start := time.Now()
 	resp, err := s.node.Client().Do(req)
 	if err != nil {
@@ -89,7 +95,7 @@ func (s *Server) routeCluster(w http.ResponseWriter, r *http.Request, op *prepar
 		return false
 	}
 	defer resp.Body.Close()
-	for _, h := range []string{"Content-Type", "X-Cache", "X-Degraded", "X-Job-Id", "Retry-After"} {
+	for _, h := range []string{"Content-Type", "X-Cache", "X-Degraded", "X-Job-Id", "Retry-After", idempotentReplayHeader} {
 		if v := resp.Header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}

@@ -164,7 +164,8 @@ func (s *Server) handleDefectSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	rid := obs.RequestIDFromContext(r.Context())
 	jtr := s.newJobTracer()
-	j, ok := s.submit(w, "sweep", rid, jtr, op.timeoutMS,
+	j, ok := s.submit(w, "sweep", rid, jtr,
+		&JobMeta{Path: "/v1/defects/sweep", Body: body, TimeoutMS: op.timeoutMS},
 		s.jobFn(op, rid, obs.HopFromContext(r.Context()), jtr))
 	if !ok {
 		return

@@ -85,7 +85,28 @@ const (
 	// made the layout infeasible (errors wrapping defects.ErrBlocked) —
 	// the design is sound, the surface is not.
 	ErrKindDefectBlocked = "defect_blocked"
+	// ErrKindInterrupted marks jobs that were queued or running when the
+	// daemon died and were not resubmitted on restart: the work was lost to
+	// the crash, not to anything wrong with the request.
+	ErrKindInterrupted = "interrupted"
 )
+
+// JobMeta is the submission payload the write-ahead journal records with a
+// job: everything a restarted daemon needs to re-create the work (or to
+// answer honestly that it cannot).
+type JobMeta struct {
+	// Path is the endpoint the request arrived on ("/v1/flow", ...), the
+	// dispatch key recovery re-prepares the body under.
+	Path string
+	// Body is the canonical request body, verbatim.
+	Body []byte
+	// Key is the op's content-addressed cache key ("" when uncacheable).
+	Key string
+	// IdemKey is the client's Idempotency-Key header value, if any.
+	IdemKey string
+	// TimeoutMS is the request's own deadline field (pre-clamping).
+	TimeoutMS int64
+}
 
 // Job is one unit of queued work.
 type Job struct {
@@ -100,6 +121,9 @@ type Job struct {
 	requestID string
 	queue     *Queue
 	tracer    *obs.Tracer
+	// meta is the journaled submission payload (nil for unjournaled
+	// submissions); set before enqueue and never mutated.
+	meta *JobMeta
 
 	mu       sync.Mutex
 	state    JobState
@@ -123,6 +147,10 @@ func (j *Job) Tracer() *obs.Tracer { return j.tracer }
 // ("" for untraced submissions), the join key between the request log,
 // the job-lifecycle log lines, and the flight-recorder trace.
 func (j *Job) RequestID() string { return j.requestID }
+
+// Meta returns the journaled submission payload (nil for unjournaled
+// submissions).
+func (j *Job) Meta() *JobMeta { return j.meta }
 
 // CreatedAt returns the submission time.
 func (j *Job) CreatedAt() time.Time {
@@ -259,6 +287,9 @@ type Queue struct {
 	order  []string // submission order, for pruning
 	nextID int
 	closed bool
+	// drainStarted is when Drain began ("zero" before), the basis for the
+	// Retry-After a draining replica advertises.
+	drainStarted time.Time
 
 	wg       sync.WaitGroup
 	runningN atomic.Int64
@@ -275,10 +306,26 @@ type Queue struct {
 	// service hooks the flight recorder here. Set before the first
 	// Submit; it is not synchronized for later swaps.
 	onFinish func(*Job)
+	// onSubmit is invoked under q.mu, after the job id is assigned but
+	// BEFORE the job becomes visible to any worker — the write-ahead
+	// ordering the journal depends on: the submission is durable before
+	// the work can start. Set before the first Submit.
+	onSubmit func(*Job)
+	// onStart is invoked as a worker picks the job up (after its state is
+	// running), from the worker goroutine. Set before the first Submit.
+	onStart func(*Job)
 }
 
 // OnFinish registers the terminal-state hook (see the field doc).
 func (q *Queue) OnFinish(fn func(*Job)) { q.onFinish = fn }
+
+// OnSubmit registers the pre-visibility submission hook (see the field
+// doc). The hook runs under the queue lock; it must not call back into
+// the queue.
+func (q *Queue) OnSubmit(fn func(*Job)) { q.onSubmit = fn }
+
+// OnStart registers the job-start hook (see the field doc).
+func (q *Queue) OnStart(fn func(*Job)) { q.onStart = fn }
 
 // NewQueue starts a queue with the given worker count, buffer depth, and
 // default per-job timeout (0 = no deadline). The tracer (nil-safe)
@@ -323,6 +370,34 @@ func (q *Queue) Submit(kind string, timeout time.Duration, fn JobFunc) (*Job, er
 // tracer fixed at submission, before any worker can observe the job —
 // attaching them afterwards would race a fast job's finish hook.
 func (q *Queue) SubmitTraced(kind, requestID string, tr *obs.Tracer, timeout time.Duration, fn JobFunc) (*Job, error) {
+	return q.SubmitWith(SubmitOptions{
+		Kind: kind, RequestID: requestID, Tracer: tr, Timeout: timeout,
+	}, fn)
+}
+
+// SubmitOptions parameterizes SubmitWith.
+type SubmitOptions struct {
+	Kind      string
+	RequestID string
+	Tracer    *obs.Tracer
+	// Timeout overrides the queue default when positive.
+	Timeout time.Duration
+	// Meta is the journaled submission payload (nil = unjournaled).
+	Meta *JobMeta
+	// ID reuses an explicit job id instead of assigning the next one —
+	// crash recovery resubmits journaled jobs under their pre-crash ids so
+	// clients polling across the restart keep a valid handle. The caller
+	// must have advanced the id sequence past it (see EnsureNextID).
+	ID string
+}
+
+// SubmitWith enqueues work. The capacity check, id assignment, onSubmit
+// hook, and channel insert all happen under one critical section, so the
+// submission hook (the journal append) is guaranteed to complete before
+// any worker can observe the job, and a journaled job can never be
+// rejected after the fact.
+func (q *Queue) SubmitWith(opts SubmitOptions, fn JobFunc) (*Job, error) {
+	timeout := opts.Timeout
 	if timeout <= 0 {
 		timeout = q.timeout
 	}
@@ -331,27 +406,35 @@ func (q *Queue) SubmitTraced(kind, requestID string, tr *obs.Tracer, timeout tim
 		q.mu.Unlock()
 		return nil, ErrDraining
 	}
-	q.nextID++
-	j := &Job{
-		ID:        fmt.Sprintf("j%08d", q.nextID),
-		Kind:      kind,
-		fn:        fn,
-		timeout:   timeout,
-		requestID: requestID,
-		queue:     q,
-		tracer:    tr,
-		state:     JobQueued,
-		created:   time.Now(),
-		done:      make(chan struct{}),
-	}
-	select {
-	case q.ch <- j:
-	default:
-		q.nextID--
+	if len(q.ch) == cap(q.ch) {
 		q.mu.Unlock()
 		q.rejected.Inc()
 		return nil, ErrQueueFull
 	}
+	id := opts.ID
+	if id == "" {
+		q.nextID++
+		id = fmt.Sprintf("j%08d", q.nextID)
+	}
+	j := &Job{
+		ID:        id,
+		Kind:      opts.Kind,
+		fn:        fn,
+		timeout:   timeout,
+		requestID: opts.RequestID,
+		queue:     q,
+		tracer:    opts.Tracer,
+		meta:      opts.Meta,
+		state:     JobQueued,
+		created:   time.Now(),
+		done:      make(chan struct{}),
+	}
+	if q.onSubmit != nil {
+		q.onSubmit(j)
+	}
+	// Cannot block: capacity was checked under this same lock and only
+	// submitters (serialized by it) fill the channel.
+	q.ch <- j
 	q.byID[j.ID] = j
 	q.order = append(q.order, j.ID)
 	q.pruneLocked()
@@ -363,6 +446,63 @@ func (q *Queue) SubmitTraced(kind, requestID string, tr *obs.Tracer, timeout tim
 		obslog.F("kind", j.Kind),
 		obslog.F("request_id", j.requestID))
 	return j, nil
+}
+
+// EnsureNextID advances the job-id sequence past id (a "j%08d" string),
+// so ids assigned after crash recovery never collide with pre-crash ids
+// resubmitted verbatim. Unparseable ids are ignored.
+func (q *Queue) EnsureNextID(id string) {
+	var n int
+	if _, err := fmt.Sscanf(id, "j%08d", &n); err != nil || n <= 0 {
+		return
+	}
+	q.mu.Lock()
+	if n > q.nextID {
+		q.nextID = n
+	}
+	q.mu.Unlock()
+}
+
+// Restore inserts a pre-built terminal job into the lookup table without
+// ever enqueueing it — crash recovery's way of making a pre-crash job id
+// answer honestly on /v1/jobs/{id} instead of 404ing. It returns nil when
+// the id already exists. fireFinish routes the job through the normal
+// terminal hook (journal + flight recorder); recovery sets it only for
+// newly-interrupted jobs, whose terminal state the journal has not yet
+// witnessed.
+func (q *Queue) Restore(id, kind, requestID string, state JobState, errKind, errMsg string, created time.Time, fireFinish bool) *Job {
+	if created.IsZero() {
+		created = time.Now()
+	}
+	j := &Job{
+		ID:        id,
+		Kind:      kind,
+		requestID: requestID,
+		queue:     q,
+		state:     state,
+		err:       errMsg,
+		errKind:   errKind,
+		created:   created,
+		finished:  time.Now(),
+		done:      make(chan struct{}),
+	}
+	close(j.done)
+	q.mu.Lock()
+	if _, ok := q.byID[id]; ok {
+		q.mu.Unlock()
+		return nil
+	}
+	q.byID[id] = j
+	q.order = append(q.order, id)
+	q.pruneLocked()
+	q.mu.Unlock()
+	if state == JobFailed {
+		q.failed.Inc()
+	}
+	if fireFinish {
+		q.finishJob(j)
+	}
+	return j
 }
 
 // finishJob emits the terminal lifecycle log line and fires the OnFinish
@@ -443,6 +583,13 @@ func (q *Queue) Draining() bool {
 	return q.closed
 }
 
+// DrainStarted returns when Drain began (zero before it has).
+func (q *Queue) DrainStarted() time.Time {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.drainStarted
+}
+
 func (q *Queue) worker() {
 	defer q.wg.Done()
 	for j := range q.ch {
@@ -472,6 +619,9 @@ func (q *Queue) run(j *Job) {
 	wait := started.Sub(created)
 	q.waitHist.Observe(wait.Seconds())
 	q.running.Set(float64(q.runningN.Add(1)))
+	if q.onStart != nil {
+		q.onStart(j)
+	}
 	q.log.Debug("job_start",
 		obslog.F("job_id", j.ID),
 		obslog.F("kind", j.Kind),
@@ -562,6 +712,7 @@ func (q *Queue) Drain(ctx context.Context) error {
 		return nil
 	}
 	q.closed = true
+	q.drainStarted = time.Now()
 	close(q.ch)
 	q.mu.Unlock()
 

@@ -18,6 +18,7 @@ import (
 	"repro/internal/cluster/overview"
 	"repro/internal/core"
 	"repro/internal/gatelib"
+	"repro/internal/journal"
 	"repro/internal/lattice"
 	"repro/internal/logic/bench"
 	"repro/internal/logic/network"
@@ -72,6 +73,20 @@ type Config struct {
 	// probes, consistent-hash ownership routing, a peer cache tier, and
 	// fleet-wide single-flight deduplication (see internal/cluster).
 	Cluster *cluster.Config
+	// JournalDir, when set, enables the write-ahead job journal: every
+	// submission is fsynced to disk before its id is returned, and on
+	// restart the journal is replayed so pre-crash job ids answer honestly
+	// instead of 404ing (see internal/journal and RecoverMode).
+	JournalDir string
+	// RecoverMode decides what happens to jobs the journal shows queued or
+	// running at crash: RecoverFail (default) surfaces them as failed with
+	// error_kind "interrupted"; RecoverResubmit re-enqueues them from
+	// their journaled request bytes under their pre-crash ids.
+	RecoverMode string
+	// DrainGrace is the shutdown grace period the daemon gives Drain; the
+	// 503s a draining replica answers with advertise the remainder of it
+	// as Retry-After.
+	DrainGrace time.Duration
 }
 
 // defaultObjectives declares the service's latency/error objectives per
@@ -118,6 +133,12 @@ type Server struct {
 	// background; nil outside a fleet (GET /v1/cluster/overview then
 	// serves a one-replica view computed on demand).
 	overview *overview.Aggregator
+
+	// jrnl is the write-ahead job journal (nil when JournalDir is unset);
+	// idem maps Idempotency-Key values to job ids so client retries
+	// reattach instead of re-solving.
+	jrnl *journal.Journal
+	idem idemTable
 }
 
 // New builds a server (it does not listen; see Handler).
@@ -140,6 +161,14 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 1 << 20
+	}
+	switch cfg.RecoverMode {
+	case "", RecoverFail:
+		cfg.RecoverMode = RecoverFail
+	case RecoverResubmit:
+	default:
+		return nil, fmt.Errorf("service: unknown recover mode %q (want %s or %s)",
+			cfg.RecoverMode, RecoverFail, RecoverResubmit)
 	}
 	s := &Server{
 		cfg:     cfg,
@@ -179,6 +208,7 @@ func New(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, err
 		}
+		d.Instrument(s.tr, s.log)
 		// The resilient wrapper retries transient I/O and trips a breaker
 		// to memory-only caching when the disk keeps failing, so cache
 		// storage trouble degrades throughput instead of availability.
@@ -219,7 +249,17 @@ func New(cfg Config) (*Server, error) {
 	s.queue.OnFinish(func(j *Job) {
 		s.recordFlight(j)
 		s.admission.observe(j.RunSeconds())
+		s.journalFinish(j)
 	})
+	if cfg.JournalDir != "" {
+		// Opened after the queue so the lifecycle hooks have a queue to
+		// hang off, and recovery (which may resubmit) has workers to run
+		// on — but before the mux exists, so no request can race replay.
+		if err := s.initJournal(cfg); err != nil {
+			return nil, err
+		}
+		s.recoverJournal(cfg.RecoverMode)
+	}
 	if s.node != nil {
 		// Built after the queue: the aggregator seeds itself with a local
 		// stats snapshot, which reads queue state.
@@ -277,7 +317,13 @@ func (s *Server) Drain(ctx context.Context) error {
 	if s.node != nil {
 		s.node.Stop()
 	}
-	return s.queue.Drain(ctx)
+	err := s.queue.Drain(ctx)
+	if s.jrnl != nil {
+		// After Drain every job has journaled its terminal event; closing
+		// here fsyncs the tail so a clean shutdown replays to nothing.
+		s.jrnl.Close()
+	}
+	return err
 }
 
 // ---- request/response plumbing ----
@@ -433,16 +479,27 @@ func (s *Server) newJobTracer() *obs.Tracer {
 }
 
 // submit enqueues fn, applying queue backpressure to the response. The
-// request id and per-job tracer ride along so they are attached before a
-// worker can pick the job up (see Queue.SubmitTraced).
-func (s *Server) submit(w http.ResponseWriter, kind, rid string, jtr *obs.Tracer, timeoutMS int64, fn JobFunc) (*Job, bool) {
+// request id, per-job tracer, and journal payload ride along so they are
+// attached before a worker can pick the job up (see Queue.SubmitWith). A
+// successful submission with an Idempotency-Key claims the key, so a
+// client retry reattaches to this job.
+func (s *Server) submit(w http.ResponseWriter, kind, rid string, jtr *obs.Tracer, meta *JobMeta, fn JobFunc) (*Job, bool) {
+	var timeoutMS int64
+	if meta != nil {
+		timeoutMS = meta.TimeoutMS
+	}
 	timeout := time.Duration(timeoutMS) * time.Millisecond
 	if s.cfg.JobTimeout > 0 && (timeout <= 0 || timeout > s.cfg.JobTimeout) {
 		timeout = s.cfg.JobTimeout
 	}
-	j, err := s.queue.SubmitTraced(kind, rid, jtr, timeout, fn)
+	j, err := s.queue.SubmitWith(SubmitOptions{
+		Kind: kind, RequestID: rid, Tracer: jtr, Timeout: timeout, Meta: meta,
+	}, fn)
 	switch err {
 	case nil:
+		if meta != nil && meta.IdemKey != "" {
+			s.idem.claim(meta.IdemKey, j.ID)
+		}
 		return j, true
 	case ErrQueueFull:
 		// Same honest estimate as admission control: backlog times the
@@ -451,6 +508,9 @@ func (s *Server) submit(w http.ResponseWriter, kind, rid string, jtr *obs.Tracer
 		writeErrKind(w, http.StatusTooManyRequests, ErrKindShed,
 			"job queue is full (depth %d)", s.cfg.QueueDepth)
 	case ErrDraining:
+		// The replica is going away; the remainder of the drain grace is
+		// the honest estimate of when its replacement answers.
+		s.retryAfterDrain(w)
 		writeErr(w, http.StatusServiceUnavailable, "server is draining")
 	default:
 		writeErr(w, http.StatusInternalServerError, "%v", err)
@@ -471,7 +531,16 @@ func (s *Server) await(w http.ResponseWriter, r *http.Request, j *Job) {
 	kind := j.ErrorKind()
 	switch j.State() {
 	case JobDone:
-		jr := res.(*jobResult)
+		jr, ok := res.(*jobResult)
+		if !ok {
+			// A recovered terminal stub has no result body (only the journal
+			// survived the crash, not the bytes); 410 tells the caller the
+			// job finished but the answer must be re-requested.
+			w.Header().Set("X-Job-Id", j.ID)
+			writeErrKind(w, http.StatusGone, ErrKindInterrupted,
+				"job %s completed before a daemon restart; its result was not retained", j.ID)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Job-Id", j.ID)
 		w.Header().Set("X-Cache", jr.cacheHeader())
@@ -648,6 +717,13 @@ func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// An Idempotency-Key that matches an earlier submission reattaches to
+	// that job; otherwise a miss forwards WITH the key, so the mapping
+	// lands on the key's owner replica, where every retry converges.
+	ik := idempotencyKey(r)
+	if s.idempotentReplay(w, r, ik, req.Async) {
+		return
+	}
 	// Async jobs are polled on the replica that accepted them, so they
 	// must run (and be admitted) locally rather than forwarded.
 	if !req.Async && s.routeCluster(w, r, op, body) {
@@ -658,7 +734,8 @@ func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 	}
 	rid := obs.RequestIDFromContext(r.Context())
 	jtr := s.newJobTracer()
-	j, ok := s.submit(w, "flow", rid, jtr, op.timeoutMS,
+	j, ok := s.submit(w, "flow", rid, jtr,
+		&JobMeta{Path: "/v1/flow", Body: body, Key: string(op.key), IdemKey: ik, TimeoutMS: op.timeoutMS},
 		s.jobFn(op, rid, obs.HopFromContext(r.Context()), jtr))
 	if !ok {
 		return
@@ -858,6 +935,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	ik := idempotencyKey(r)
+	if s.idempotentReplay(w, r, ik, req.Async) {
+		return
+	}
 	if !req.Async && s.routeCluster(w, r, op, body) {
 		return
 	}
@@ -866,7 +947,8 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	rid := obs.RequestIDFromContext(r.Context())
 	jtr := s.newJobTracer()
-	j, ok := s.submit(w, "simulate", rid, jtr, op.timeoutMS,
+	j, ok := s.submit(w, "simulate", rid, jtr,
+		&JobMeta{Path: "/v1/simulate", Body: body, Key: string(op.key), IdemKey: ik, TimeoutMS: op.timeoutMS},
 		s.jobFn(op, rid, obs.HopFromContext(r.Context()), jtr))
 	if !ok {
 		return
@@ -987,6 +1069,10 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	ik := idempotencyKey(r)
+	if s.idempotentReplay(w, r, ik, false) {
+		return
+	}
 	if s.routeCluster(w, r, op, body) {
 		return
 	}
@@ -995,7 +1081,8 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 	}
 	rid := obs.RequestIDFromContext(r.Context())
 	jtr := s.newJobTracer()
-	j, ok := s.submit(w, "validate", rid, jtr, op.timeoutMS,
+	j, ok := s.submit(w, "validate", rid, jtr,
+		&JobMeta{Path: "/v1/gates/validate", Body: body, Key: string(op.key), IdemKey: ik, TimeoutMS: op.timeoutMS},
 		s.jobFn(op, rid, obs.HopFromContext(r.Context()), jtr))
 	if !ok {
 		return
@@ -1519,6 +1606,15 @@ var metricHelp = map[string]string{
 	"cluster_overview_degraded":          "1 when any replica is dead, draining, shedding, or has an open cache breaker.",
 	"cluster_overview_burn_rate":         "Fleet-wide SLO burn rate per objective and window (raw counts summed across replicas).",
 	"cluster_overview_utilization":       "Queue+worker utilization per replica, from the overview poll.",
+	"journal_appends_total":              "Job lifecycle events durably appended to the write-ahead journal.",
+	"journal_append_errors_total":        "Journal appends that failed (durability degraded; the job still ran).",
+	"journal_rotations_total":            "Journal segment rotations (each compacts completed jobs away).",
+	"journal_torn_tails_truncated_total": "Torn journal tails (half-written final records) truncated on open.",
+	"journal_replay_skipped_total":       "Journal records skipped during replay (undecodable or fault-injected).",
+	"journal_segments":                   "Journal segments currently on disk.",
+	"journal_recovered_total":            "Jobs recovered from the journal at startup, by outcome (completed/resubmitted/interrupted).",
+	"cache_disk_corrupt_total":           "Disk-cache entries that failed checksum verification and were quarantined as *.corrupt.",
+	"idempotency_replayed_total":         "Requests answered by replaying an earlier submission with the same Idempotency-Key.",
 }
 
 // handleMetrics renders every tracer metric in the Prometheus text

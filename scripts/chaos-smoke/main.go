@@ -17,7 +17,13 @@
 //     "canceled" with the worker pool fully drained (jobs_running 0),
 //   - SIGTERM still drains and exits cleanly.
 //
-// A second phase boots a three-replica fleet and SIGKILLs one replica in
+// A second phase SIGKILLs a journaled daemon mid-job and restarts it on
+// the same journal directory: every pre-crash job id must still answer
+// (as error_kind "interrupted", or completed via -recover resubmit), and
+// a disk-cache entry corrupted while the daemon was down must quarantine
+// as a clean miss whose re-solve is byte-identical (see durability.go).
+//
+// A third phase boots a three-replica fleet and SIGKILLs one replica in
 // the middle of a request storm: survivors must keep answering (falling
 // back to local solves when the dead owner is unreachable), mark the
 // peer dead within the probe window, rebalance the ring, drain their
@@ -420,7 +426,12 @@ func main() {
 		fatal(fmt.Errorf("daemon did not exit within 30s of SIGTERM"))
 	}
 
-	// Phase 2: a clustered fleet must survive losing a replica mid-storm.
+	// Phase 2: kill -9 a journaled daemon mid-job; restarts must answer
+	// for every pre-crash job id and quarantine corrupted cache entries
+	// (see durability.go).
+	durabilityScenario(bin)
+
+	// Phase 3: a clustered fleet must survive losing a replica mid-storm.
 	fleetScenario(bin)
 
 	fmt.Println("chaos-smoke: PASS")

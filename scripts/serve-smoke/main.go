@@ -237,6 +237,17 @@ func main() {
 	}
 	checkCumulative(metrics, "queue_wait_seconds_bucket{le=")
 
+	step("Idempotency-Key: a retry reattaches to the original job")
+	idemReq := map[string]any{"gate": gates.Gates[0]}
+	id1, body1 := postIdem("/v1/simulate", idemReq, "smoke-idem-1")
+	id2, body2 := postIdem("/v1/simulate", idemReq, "smoke-idem-1")
+	if id1 == "" || id1 != id2 {
+		fatal(fmt.Errorf("idempotent retry got job %q, original was %q", id2, id1))
+	}
+	if !bytes.Equal(body1, body2) {
+		fatal(fmt.Errorf("idempotent retry body differs from original"))
+	}
+
 	step("X-Request-Id response header")
 	resp, err := http.Get(base + "/healthz")
 	if err != nil {
@@ -360,6 +371,28 @@ func mustPost(path string, payload any) ([]byte, bool) {
 		fatal(fmt.Errorf("POST %s: status %d: %s", path, resp.StatusCode, bytes.TrimSpace(body)))
 	}
 	return body, resp.Header.Get("X-Cache") == "hit"
+}
+
+// postIdem posts with an Idempotency-Key header and returns the job id
+// and body of the 200 response.
+func postIdem(path string, payload any, key string) (string, []byte) {
+	b, _ := json.Marshal(payload)
+	req, err := http.NewRequest(http.MethodPost, base+path, bytes.NewReader(b))
+	if err != nil {
+		fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Idempotency-Key", key)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("POST %s (idempotent): status %d: %s", path, resp.StatusCode, bytes.TrimSpace(body)))
+	}
+	return resp.Header.Get("X-Job-Id"), body
 }
 
 func postCode(path string, payload any) (int, error) {
